@@ -1,0 +1,243 @@
+"""Ablations A1-A5: the design choices SS III/V call out, isolated.
+
+A1  Galerkin vs rediscretized coarse operators (SS III-C: "Galerkin
+    coarsening is more robust but is expensive to compute").
+A2  Smoother strength: V(2,2) vs V(3,3) Chebyshev degree.
+A3  Outer Krylov method: GCR vs FGMRES (SS III-A: both flexible; GCR
+    exposes the true residual, FGMRES is steadier when ill-conditioned).
+A4  Fieldsplit vs Schur complement reduction under coefficient contrast
+    (SS IV-A: SCR trades inner solves for normality).
+A5  Coarse-grid solver: ASM vs smoothed aggregation as the (virtual)
+    subdomain count grows (SS V: ASM efficient below ~2k ranks, SA needed
+    beyond).
+A6  Chebyshev vs multiplicative (SSOR) smoothing (SS III-C: polynomial
+    smoothers match multiplicative efficiency without needing matrix rows
+    -- the prerequisite for the whole matrix-free design).
+A7  V-cycle vs W-cycle (the paper fixes V; W buys little here for 2x the
+    coarse work).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem import GaussQuadrature, assembly
+from repro.mg import GMGConfig, build_gmg
+from repro.mg.coefficients import coefficient_hierarchy
+from repro.sim.sinker import SinkerConfig, free_slip_bc, sinker_stokes_problem
+from repro.solvers import AdditiveSchwarz, cg, gcr
+from repro.stokes import StokesConfig, solve_stokes
+
+from conftest import print_table, fmt, once
+
+QUAD = GaussQuadrature.hex(3)
+
+
+def sinker(delta_eta=1e2, shape=(8, 8, 8)):
+    return sinker_stokes_problem(
+        SinkerConfig(shape=shape, n_spheres=8, radius=0.1, delta_eta=delta_eta)
+    )
+
+
+# --------------------------------------------------------------------- A1 #
+@pytest.fixture(scope="module")
+def a1_results():
+    out = {}
+    for galerkin in (True, False):
+        pb = sinker()
+        sol = solve_stokes(pb, StokesConfig(
+            mg_levels=3, coarse_solver="sa", galerkin=galerkin,
+            rtol=1e-5, maxiter=600, restart=200,
+        ))
+        out[galerkin] = sol
+    return out
+
+
+def test_a1_galerkin_vs_rediscretized(benchmark, a1_results):
+    once(benchmark, lambda: None)
+    rows = []
+    for galerkin, sol in a1_results.items():
+        label = "Galerkin" if galerkin else "rediscretized"
+        rows.append([label, sol.iterations, sol.converged,
+                     fmt(sol.mg_stats.galerkin_seconds),
+                     fmt(sol.mg_stats.assemble_seconds), fmt(sol.solve_seconds)])
+    print_table("A1: coarsest-operator construction",
+                ["coarse ops", "its", "conv", "RAP s", "assemble s",
+                 "solve s"], rows)
+    assert a1_results[True].converged and a1_results[False].converged
+    # Galerkin must not need (significantly) more iterations
+    assert a1_results[True].iterations <= a1_results[False].iterations + 5
+
+
+# --------------------------------------------------------------------- A2 #
+def test_a2_smoother_degree(benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    its = {}
+    for degree in (1, 2, 3):
+        pb = sinker()
+        sol = solve_stokes(pb, StokesConfig(
+            mg_levels=2, coarse_solver="sa", smoother_degree=degree,
+            rtol=1e-5, maxiter=800, restart=200,
+        ))
+        its[degree] = sol.iterations
+        rows.append([f"V({degree},{degree})", sol.iterations, sol.converged,
+                     fmt(sol.solve_seconds)])
+    print_table("A2: Chebyshev smoother degree", ["cycle", "its", "conv",
+                                                  "solve s"], rows)
+    assert its[3] <= its[2] <= its[1]
+
+
+# --------------------------------------------------------------------- A3 #
+def test_a3_outer_krylov(benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    its = {}
+    for outer in ("gcr", "fgmres"):
+        pb = sinker()
+        sol = solve_stokes(pb, StokesConfig(
+            mg_levels=2, coarse_solver="sa", outer=outer,
+            rtol=1e-5, maxiter=600, restart=200,
+        ))
+        its[outer] = sol.iterations
+        rows.append([outer, sol.iterations, sol.converged,
+                     fmt(sol.solve_seconds)])
+    print_table("A3: outer flexible Krylov method",
+                ["method", "its", "conv", "solve s"], rows)
+    # the two flexible methods are comparable on the same preconditioner
+    assert abs(its["gcr"] - its["fgmres"]) <= max(5, 0.3 * its["gcr"])
+
+
+# --------------------------------------------------------------------- A4 #
+def test_a4_fieldsplit_vs_scr(benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    data = {}
+    for contrast in (1e1, 1e3):
+        for scheme in ("fieldsplit", "scr"):
+            pb = sinker(delta_eta=contrast, shape=(4, 4, 4))
+            sol = solve_stokes(pb, StokesConfig(
+                mg_levels=2, coarse_solver="lu", scheme=scheme,
+                rtol=1e-6, maxiter=800, restart=300,
+            ))
+            data[(contrast, scheme)] = sol
+            inner = sol.extra.get("scr")
+            rows.append([
+                fmt(contrast), scheme, sol.iterations, sol.converged,
+                inner.total_inner if inner else "-", fmt(sol.solve_seconds),
+            ])
+    print_table("A4: full-space fieldsplit vs Schur complement reduction",
+                ["contrast", "scheme", "outer its", "conv", "inner its",
+                 "solve s"], rows)
+    # SCR outer iterations barely move with contrast; fieldsplit's grow
+    fs_growth = data[(1e3, "fieldsplit")].iterations / data[(1e1, "fieldsplit")].iterations
+    scr_growth = data[(1e3, "scr")].iterations / max(data[(1e1, "scr")].iterations, 1)
+    assert fs_growth > scr_growth
+    for sol in data.values():
+        assert sol.converged
+
+
+# --------------------------------------------------------------------- A5 #
+def test_a5_asm_vs_sa_coarse_solver(benchmark):
+    """ASM degrades as subdomain count grows; SA stays flat (SS V)."""
+    once(benchmark, lambda: None)
+    from repro.fem import StructuredMesh
+    from repro.mg.sa import SAConfig, rigid_body_modes, smoothed_aggregation
+
+    mesh = StructuredMesh((6, 6, 6), order=2)
+    rng = np.random.default_rng(0)
+    eta = np.exp(rng.normal(size=(mesh.nel, QUAD.npoints)))
+    A = assembly.assemble_viscous(mesh, eta, QUAD)
+    bc = free_slip_bc(mesh)
+    A_bc, _ = bc.eliminate(A, np.zeros(3 * mesh.nnodes))
+    b = rng.standard_normal(3 * mesh.nnodes)
+    b[bc.mask] = 0.0
+    rows = []
+    asm_its = {}
+    # restricted ASM is nonsymmetric, so the accelerator is (flexible) GCR;
+    # overlap 1 keeps the subdomains from swallowing this small test mesh
+    for nsub in (2, 8, 32):
+        M = AdditiveSchwarz(A_bc, nsub=nsub, overlap=1, subsolve="lu")
+        res = gcr(lambda v: A_bc @ v, b, M=M, rtol=1e-6, maxiter=400,
+                  restart=100)
+        asm_its[nsub] = res.iterations
+        rows.append([f"ASM({nsub} subdomains, ovl 1)", res.iterations,
+                     res.converged])
+    B = rigid_body_modes(mesh.coords, bc.mask)
+    sa = smoothed_aggregation(A_bc, B, SAConfig(max_coarse=400))
+    res_sa = gcr(lambda v: A_bc @ v, b, M=sa, rtol=1e-6, maxiter=400,
+                 restart=100)
+    rows.append(["SA (GAMG)", res_sa.iterations, res_sa.converged])
+    print_table("A5: coarse-solver preconditioner scalability",
+                ["preconditioner", "GCR its", "conv"], rows)
+    assert asm_its[32] > asm_its[8] > asm_its[2]  # ASM degrades
+    assert res_sa.iterations <= asm_its[32]       # SA does not
+
+
+# --------------------------------------------------------------------- A6 #
+def test_a6_chebyshev_vs_multiplicative(benchmark):
+    """Chebyshev(Jacobi) smoothing matches SSOR iteration counts on the
+    viscous block (within 2x), while needing only operator applications."""
+    once(benchmark, lambda: None)
+    import scipy.sparse as sp
+    import scipy.sparse.linalg as spla
+
+    from repro.fem import StructuredMesh
+    from repro.mg.cycles import MGHierarchy, MGLevel
+    from repro.mg.transfer import vector_prolongation
+    from repro.solvers import ChebyshevSmoother, SymmetricGaussSeidel
+
+    mesh = StructuredMesh((6, 6, 6), order=2)
+    rng = np.random.default_rng(0)
+    eta = np.exp(rng.normal(size=(mesh.nel, QUAD.npoints)))
+    A = assembly.assemble_viscous(mesh, eta, QUAD)
+    bc = free_slip_bc(mesh)
+    A_bc, _ = bc.eliminate(A, np.zeros(3 * mesh.nnodes))
+    coarse_mesh = mesh.coarsen()
+    P = vector_prolongation(mesh, coarse_mesh)
+    cbc = free_slip_bc(coarse_mesh)
+    Ac = (P.T @ A_bc @ P).tocsr()
+    keep = sp.diags((~cbc.mask).astype(float))
+    Ac = (keep @ Ac @ keep + sp.diags(cbc.mask.astype(float))).tocsr()
+    lu = spla.splu(Ac.tocsc())
+    b = rng.standard_normal(3 * mesh.nnodes)
+    b[bc.mask] = 0.0
+    import time
+
+    rows = []
+    its = {}
+    for name, smoother in [
+        ("Chebyshev(2)/Jacobi",
+         ChebyshevSmoother(lambda v: A_bc @ v, A_bc.diagonal(), degree=2)),
+        ("SSOR (multiplicative)", SymmetricGaussSeidel(A_bc)),
+    ]:
+        fine = MGLevel(apply=lambda v: A_bc @ v, smoother=smoother,
+                       prolong=P, bc_mask=bc.mask)
+        coarse = MGLevel(apply=lambda v: Ac @ v, coarse_solve=lu.solve,
+                         bc_mask=cbc.mask)
+        mg = MGHierarchy([fine, coarse])
+        t0 = time.perf_counter()
+        res = cg(lambda v: A_bc @ v, b, M=mg, rtol=1e-8, maxiter=200)
+        dt = time.perf_counter() - t0
+        its[name] = res.iterations
+        rows.append([name, res.iterations, res.converged, fmt(dt)])
+    print_table("A6: smoother choice inside the V-cycle",
+                ["smoother", "CG its", "conv", "solve s"], rows)
+    assert its["Chebyshev(2)/Jacobi"] <= 2 * its["SSOR (multiplicative)"]
+
+
+# --------------------------------------------------------------------- A7 #
+def test_a7_v_vs_w_cycle(benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    its = {}
+    for gamma, label in ((1, "V(2,2)"), (2, "W(2,2)")):
+        pb = sinker()
+        sol = solve_stokes(pb, StokesConfig(
+            mg_levels=3, coarse_solver="sa", rtol=1e-5, maxiter=600,
+            restart=200, gamma=gamma,
+        ))
+        its[gamma] = sol.iterations
+        rows.append([label, sol.iterations, sol.converged,
+                     fmt(sol.solve_seconds)])
+    print_table("A7: cycle shape", ["cycle", "its", "conv", "solve s"], rows)
+    assert its[2] <= its[1] + 2  # W never (meaningfully) worse in its

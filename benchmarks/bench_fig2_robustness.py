@@ -1,0 +1,104 @@
+"""Figure 2: convergence vs viscosity contrast (robustness, SS IV-A).
+
+Regenerates the Fig. 2 series: per Krylov iteration, the vertical-momentum
+and pressure residual norms of the fieldsplit-preconditioned GCR solve of
+the multi-sinker problem at increasing viscosity contrast.  The shapes the
+paper reports and we assert:
+
+* the iteration starts with a large vertical momentum residual and a tiny
+  pressure residual;
+* the pressure residual *rises* to the momentum residual's order before
+  steady convergence sets in;
+* equilibration (and hence total iterations) takes longer as the contrast
+  grows -- the non-normality signature of the block-triangular
+  preconditioner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import FieldSplitMonitor
+from repro.sim.sinker import SinkerConfig, sinker_stokes_problem
+from repro.stokes import StokesConfig, solve_stokes
+
+from conftest import print_table, fmt, once
+
+# paper: delta_eta = 1e2..1e6 at 64^3.  Scaled to 8^3 (one-element
+# coefficient jumps) the same qualitative ladder appears one-to-two decades
+# earlier; see EXPERIMENTS.md for the mapping.
+CONTRASTS = [1e1, 1e2, 1e3]
+SHAPE = (8, 8, 8)
+
+
+def run_contrast(delta_eta, rtol=1e-5, maxiter=600):
+    cfg = SinkerConfig(shape=SHAPE, n_spheres=8, radius=0.1,
+                       delta_eta=delta_eta)
+    pb = sinker_stokes_problem(cfg)
+    mon = FieldSplitMonitor(pb.mesh)
+    sol = solve_stokes(pb, StokesConfig(mg_levels=2, coarse_solver="sa",
+                                        rtol=rtol, maxiter=maxiter,
+                                        restart=200),
+                       monitor=mon)
+    return sol, mon
+
+
+@pytest.fixture(scope="module")
+def histories():
+    return {de: run_contrast(de) for de in CONTRASTS}
+
+
+def test_fig2_histories(benchmark, histories):
+    once(benchmark, lambda: None)
+    rows = []
+    for de, (sol, mon) in histories.items():
+        uz = np.array(mon.vertical_momentum)
+        p = np.array(mon.pressure)
+        # iteration at which pressure first reaches 10% of the momentum
+        meet = np.argmax(p >= 0.1 * uz[0]) if (p >= 0.1 * uz[0]).any() else -1
+        rows.append([
+            fmt(de), sol.iterations, sol.converged,
+            fmt(float(uz[0])), fmt(float(p[0])), meet,
+        ])
+    print_table(
+        "Fig. 2: GCR + fieldsplit(MG V(2,2)) vs viscosity contrast",
+        ["delta_eta", "iterations", "converged", "|r_uz|(0)", "|r_p|(0)",
+         "p-residual catches up at it"],
+        rows,
+    )
+    from repro.diagnostics import semilogy_ascii
+
+    for de, (sol, mon) in histories.items():
+        print(f"\n-- Fig. 2 panel, delta_eta = {de:g} --")
+        print(semilogy_ascii(
+            {"|r_uz|": mon.vertical_momentum, "|r_p|": mon.pressure},
+            width=64, height=14,
+        ))
+
+
+def test_fig2_pressure_rises_to_meet_momentum(benchmark, histories):
+    once(benchmark, lambda: None)
+    for de, (sol, mon) in histories.items():
+        uz = np.array(mon.vertical_momentum)
+        p = np.array(mon.pressure)
+        assert p[0] < 1e-2 * uz[0], f"contrast {de}"
+        assert p.max() > 1e2 * max(p[0], 1e-300), f"contrast {de}"
+
+
+def test_fig2_equilibration_slows_with_contrast(benchmark, histories):
+    once(benchmark, lambda: None)
+    its = [histories[de][0].iterations for de in CONTRASTS]
+    assert its[0] < its[1] < its[2]
+
+
+def test_fig2_low_contrast_converges(benchmark, histories):
+    once(benchmark, lambda: None)
+    assert histories[CONTRASTS[0]][0].converged
+
+
+def test_fig2_solve_time(benchmark):
+    def run():
+        return run_contrast(1e3)[0]
+
+    sol = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(iterations=sol.iterations,
+                                converged=bool(sol.converged))

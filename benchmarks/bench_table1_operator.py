@@ -1,0 +1,92 @@
+"""Table I: cost of applying the Q2 viscous operator, four ways.
+
+Regenerates, per operator kind (Assembled / Matrix-free / Tensor /
+Tensor-C):
+
+* the paper's exact per-element flop and byte counts (analytic,
+  SS III-D -- asserted, not just printed);
+* the Edison-model time and GF/s for the paper's setting (64^3 elements,
+  8 nodes);
+* the *measured* NumPy wall time of our kernels at bench scale, whose
+  ordering must reproduce the paper's: tensor < mf on flops, and the
+  assembled SpMV throughput bound by memory bandwidth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem import GaussQuadrature, StructuredMesh
+from repro.matfree import make_operator
+from repro.perf import OPERATOR_COUNTS, table1_model
+
+from conftest import print_table, fmt, once
+
+SHAPE = (8, 8, 8)
+KINDS = ["asmb", "mf", "tensor", "tensor_c"]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    rng = np.random.default_rng(0)
+    mesh = StructuredMesh(SHAPE, order=2)
+    quad = GaussQuadrature.hex(3)
+    eta = np.exp(rng.normal(size=(mesh.nel, quad.npoints)))
+    u = rng.standard_normal(3 * mesh.nnodes)
+    ops = {k: make_operator(k, mesh, eta, quad=quad) for k in KINDS}
+    return mesh, u, ops
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_operator_apply(benchmark, setting, kind):
+    mesh, u, ops = setting
+    op = ops[kind]
+    y = benchmark(op.apply, u)
+    assert np.isfinite(y).all()
+    c = OPERATOR_COUNTS[kind]
+    benchmark.extra_info.update(
+        flops_per_element=c.flops,
+        bytes_perfect=c.bytes_perfect_cache,
+        bytes_pessimal=c.bytes_pessimal_cache,
+        intensity_flops_per_byte=round(c.intensity_perfect, 2),
+        nel=mesh.nel,
+    )
+
+
+def test_print_table1(benchmark, setting):
+    """Assemble the full Table I: paper counts + model + measurement."""
+    import time
+
+    once(benchmark, lambda: None)
+
+    mesh, u, ops = setting
+    rows = []
+    measured = {}
+    for kind in KINDS:
+        t0 = time.perf_counter()
+        reps = 3
+        for _ in range(reps):
+            ops[kind].apply(u)
+        measured[kind] = (time.perf_counter() - t0) / reps
+    model = {r["operator"]: r for r in table1_model()}
+    for kind in KINDS:
+        c = OPERATOR_COUNTS[kind]
+        m = model[kind]
+        rows.append([
+            kind,
+            c.flops,
+            c.bytes_pessimal_cache,
+            c.bytes_perfect_cache,
+            fmt(m["time_ms"]),
+            fmt(m["gflops"]),
+            fmt(measured[kind] * 1e3),
+            fmt(c.flops * mesh.nel / measured[kind] / 1e9),
+        ])
+    print_table(
+        "Table I: Q2 viscous operator application (per element)",
+        ["op", "flops", "B(pessimal)", "B(perfect)",
+         "model ms (64^3, 8 Edison nodes)", "model GF/s",
+         "measured ms (8^3, numpy)", "measured GF/s"],
+        rows,
+    )
+    # the paper's ordering must hold in the model
+    assert model["tensor"]["time_ms"] < model["mf"]["time_ms"] < model["asmb"]["time_ms"]

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The multi-sinker sedimentation experiment (paper SS IV-A, Fig. 1).
+
+Eight dense, viscous spheres sediment through a weak ambient fluid.  This
+example runs the *full* material-point pipeline over several time steps:
+flow laws evaluated at Lagrangian points, projected to quadrature
+(Eq. 12/13), the nonlinear Stokes solve, RK2 marker advection, and
+population control -- then traces streamlines through the final flow and
+writes a VTK snapshot.
+
+Run:  python examples/sinker_sedimentation.py [nsteps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.diagnostics import trace_streamlines, write_vts
+from repro.mpm.projection import project_to_corners
+from repro.sim import SimulationConfig, make_sinker
+from repro.sim.sinker import SinkerConfig
+from repro.stokes import StokesConfig
+
+
+def main(nsteps: int = 3):
+    cfg = SinkerConfig(
+        shape=(8, 8, 8), n_spheres=8, radius=0.1, delta_eta=1e3, seed=42,
+    )
+    sim = make_sinker(cfg, SimulationConfig(
+        stokes=StokesConfig(mg_levels=2, coarse_solver="sa", rtol=1e-5,
+                            maxiter=600, restart=200),
+        cfl=0.25,
+    ))
+    print(f"mesh {cfg.shape}, {sim.points.n} material points, "
+          f"{cfg.n_spheres} spheres, contrast {cfg.delta_eta:g}")
+
+    z_sphere = lambda: sim.points.x[sim.points.lithology == 1, 2].mean()
+    z0 = z_sphere()
+    for k in range(nsteps):
+        s = sim.step()
+        print(f"step {k}: dt={s['dt']:.3g}  krylov={s['krylov_iterations']}"
+              f"  lost={s['points_lost']}  injected={s['points_injected']}"
+              f"  |u|max={np.abs(sim.u).max():.3g}  "
+              f"sphere depth={1 - z_sphere():.3f}")
+    print(f"spheres sank by {z0 - z_sphere():.4f} over t={sim.time:.3f}")
+
+    # Fig. 1 content: streamlines through the final flow field
+    g = np.linspace(0.25, 0.75, 3)
+    seeds = np.array([[x, y, 0.5] for x in g for y in g])
+    lines = trace_streamlines(sim.mesh, sim.u, seeds, step=0.02, max_steps=200)
+    print(f"streamlines: {[l.shape[0] for l in lines]} points each")
+
+    # write a snapshot viewable in ParaView
+    lith_nodal, _ = project_to_corners(
+        sim.mesh, sim.points.el, sim.points.xi,
+        sim.points.lithology.astype(float),
+    )
+    full = np.zeros(sim.mesh.nnodes)
+    full[sim.mesh.corner_node_lattice()] = lith_nodal
+    write_vts("sinker.vts", sim.mesh, {"lithology": full, "velocity": sim.u})
+    print("wrote sinker.vts")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Thermally driven slab sinking: temperature-coupled Stokes flow.
+
+The paper's introduction motivates pTatin3D with subduction-style
+problems: compositionally identical mantle whose dynamics are driven by
+*thermal* buoyancy (Boussinesq) and temperature-dependent viscosity.  This
+example seeds a cold, dipping slab as a temperature anomaly, couples the
+Stokes solve to the SUPG energy equation through the Frank-Kamenetskii
+viscosity and Boussinesq density, and tracks the slab's descent.
+
+Run:  python examples/slab_subduction.py [nsteps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.fem import StructuredMesh
+from repro.fem.bc import DirichletBC, boundary_nodes
+from repro.mpm import seed_points
+from repro.rheology import CompositeRheology, Material
+from repro.rheology.laws import FrankKamenetskiiViscosity
+from repro.sim import Simulation, SimulationConfig
+from repro.sim.sinker import free_slip_bc
+from repro.stokes import StokesConfig
+
+
+def slab_temperature(coords: np.ndarray) -> np.ndarray:
+    """Warm mantle (T = 1) with a cold (T -> 0) slab dipping at 45 deg."""
+    x, z = coords[:, 0], coords[:, 2]
+    # slab centerline: z = 1.6 - x for x in [0.6, 1.6]
+    d = np.abs((1.6 - x) - z) / np.sqrt(2.0)  # distance to the slab plane
+    in_range = (x > 0.4) & (x < 1.7) & (z > 0.3)
+    T = 1.0 - 0.9 * np.exp(-((d / 0.15) ** 2)) * in_range
+    # cold surface boundary layer
+    T = np.minimum(T, np.clip((1.0 - z) / 0.1, 0.0, 1.0) * 0.9 + 0.1)
+    return T
+
+
+def thermal_bc(q1_mesh) -> DirichletBC:
+    bc = DirichletBC(q1_mesh.nnodes)
+    bc.add(boundary_nodes(q1_mesh, "zmax"), 0.1)
+    bc.add(boundary_nodes(q1_mesh, "zmin"), 1.0)
+    return bc.finalize()
+
+
+def main(nsteps: int = 5):
+    mesh = StructuredMesh((12, 4, 6), order=2, extent=(2.0, 0.6, 1.0))
+    mantle = Material(
+        name="mantle", rho0=1.0, alpha=0.3, T_ref=1.0,
+        rheology=CompositeRheology(
+            FrankKamenetskiiViscosity(eta0=np.exp(4.0), theta=4.0),
+            eta_min=1e-1, eta_max=1e3,
+        ),
+    )
+    pts = seed_points(mesh, 2, jitter=0.2, rng=np.random.default_rng(0))
+    corner = mesh.coords[mesh.corner_node_lattice()]
+    T0 = slab_temperature(corner)
+
+    sim = Simulation(
+        mesh, [mantle], pts, free_slip_bc,
+        config=SimulationConfig(
+            stokes=StokesConfig(mg_levels=2, coarse_solver="sa", rtol=1e-4,
+                                maxiter=400, restart=200),
+            max_newton=3, cfl=0.4, thermal_kappa=2e-4,
+        ),
+        gravity=(0.0, 0.0, -1.0),
+        T0=T0, thermal_bc_builder=thermal_bc,
+    )
+    print(f"slab model: {mesh.nel} elements, {pts.n} points, "
+          f"viscosity contrast e^4 across the temperature range")
+
+    # tag the material points born inside the slab: they advect with the
+    # flow (no diffusion), so their mean depth tracks the slab descent
+    T_at_points = slab_temperature(pts.x)
+    slab_points = (T_at_points < 0.6) & (pts.x[:, 2] < 0.85)
+    print(f"{slab_points.sum()} points tagged as slab material")
+
+    sim.points.add_field("slab", slab_points.astype(np.int8))
+
+    def slab_depth():
+        tag = sim.points.field("slab").astype(bool)
+        return float(sim.points.x[tag, 2].mean())
+
+    z0 = slab_depth()
+    for k in range(nsteps):
+        # cap the step: the CFL bound allows steps long enough for thermal
+        # diffusion to erase the slab before it moves
+        s = sim.step(dt=min(sim.stable_dt() if k else 10.0, 10.0))
+        w_min = sim.u[2::3].min()
+        print(f"step {k}: krylov={s['krylov_iterations']:>3}  "
+              f"dt={s['dt']:.3g}  w_min={w_min:.3g}  "
+              f"slab mean depth={1 - slab_depth():.3f}")
+    z1 = slab_depth()
+    print(f"\nslab material deepened by {z0 - z1:.4f} over t={sim.time:.2f} "
+          "(thermal buoyancy drives the slab down)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)

@@ -1,0 +1,15 @@
+"""ALE mesh updates: deforming free surface and vertical remeshing."""
+
+from .freesurface import (
+    update_free_surface,
+    remesh_vertical,
+    surface_topography,
+    mesh_quality,
+)
+
+__all__ = [
+    "update_free_surface",
+    "remesh_vertical",
+    "surface_topography",
+    "mesh_quality",
+]

@@ -1,0 +1,71 @@
+"""Dependency-free ASCII charts for the figure-reproducing benches.
+
+The benches regenerate the *data* of the paper's figures; these helpers
+render it in the terminal so ``pytest benchmarks/ -s`` shows recognizable
+pictures of Fig. 2 (residual histories) and Fig. 4 (per-step bars).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def semilogy_ascii(
+    series: dict[str, list],
+    width: int = 72,
+    height: int = 18,
+    xlabel: str = "iteration",
+) -> str:
+    """Render one or more positive-valued series on a log-y ASCII canvas.
+
+    Each series is a sequence of y-values plotted against its index; the
+    k-th series uses the k-th marker character.  Nonpositive/NaN values are
+    skipped.
+    """
+    markers = "*o+x#@"
+    pts = []
+    for k, (name, ys) in enumerate(series.items()):
+        for i, y in enumerate(ys):
+            if y is not None and np.isfinite(y) and y > 0:
+                pts.append((i, math.log10(y), markers[k % len(markers)]))
+    if not pts:
+        return "(no positive data)"
+    xmax = max(p[0] for p in pts) or 1
+    ymin = min(p[1] for p in pts)
+    ymax = max(p[1] for p in pts)
+    if ymax - ymin < 1e-12:
+        ymax = ymin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, ly, mark in pts:
+        col = round(x / xmax * (width - 1))
+        row = round((ymax - ly) / (ymax - ymin) * (height - 1))
+        grid[row][col] = mark
+    lines = []
+    for r, row in enumerate(grid):
+        ly = ymax - r / (height - 1) * (ymax - ymin)
+        label = f"1e{ly:+05.1f} |" if r % 4 == 0 else "        |"
+        lines.append(label + "".join(row))
+    lines.append("        +" + "-" * width)
+    lines.append(f"         0{xlabel:>{width - 1}} {xmax}")
+    legend = "   ".join(
+        f"{markers[k % len(markers)]} = {name}"
+        for k, name in enumerate(series)
+    )
+    lines.append("        " + legend)
+    return "\n".join(lines)
+
+
+def bars_ascii(values: list, labels: list | None = None, width: int = 50,
+               title: str = "") -> str:
+    """Horizontal bar chart of nonnegative values (Fig. 4's per-step bars)."""
+    values = [float(v) for v in values]
+    vmax = max(values) if values else 1.0
+    vmax = vmax or 1.0
+    lines = [title] if title else []
+    for i, v in enumerate(values):
+        label = str(labels[i]) if labels else str(i)
+        n = round(v / vmax * width)
+        lines.append(f"{label:>6} |{'#' * n}{' ' * (width - n)}| {v:g}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Streamline integration through the FE velocity field (Fig. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpm.location import locate_points
+from ..mpm.advection import interpolate_velocity
+
+
+def trace_streamlines(
+    mesh,
+    u: np.ndarray,
+    seeds: np.ndarray,
+    step: float = 0.02,
+    max_steps: int = 500,
+) -> list[np.ndarray]:
+    """RK4 streamlines from ``seeds``; each returned array is ``(n_i, 3)``.
+
+    Integration of a streamline stops when it leaves the domain or
+    after ``max_steps``.  The step is taken in normalized arclength
+    (velocity direction), so stagnant regions terminate quickly.
+    """
+    seeds = np.atleast_2d(np.asarray(seeds, dtype=np.float64))
+    lines = []
+    for seed in seeds:
+        pts = [seed.copy()]
+        x = seed.copy()
+        hint = np.array([-1])
+        for _ in range(max_steps):
+            def vel(pos):
+                els, xi, lost = locate_points(mesh, pos[None, :], hints=hint)
+                if lost[0]:
+                    return None
+                hint[0] = els[0]
+                return interpolate_velocity(mesh, u, els, xi)[0]
+
+            v1 = vel(x)
+            if v1 is None:
+                break
+            speed = np.linalg.norm(v1)
+            if speed < 1e-14:
+                break
+            h = step / speed  # unit arclength steps
+            v2 = vel(x + 0.5 * h * v1)
+            if v2 is None:
+                break
+            v3 = vel(x + 0.5 * h * v2)
+            if v3 is None:
+                break
+            v4 = vel(x + h * v3)
+            if v4 is None:
+                break
+            x = x + (h / 6.0) * (v1 + 2 * v2 + 2 * v3 + v4)
+            pts.append(x.copy())
+        lines.append(np.array(pts))
+    return lines

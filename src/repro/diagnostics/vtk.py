@@ -1,0 +1,61 @@
+"""Minimal VTK XML structured-grid writer (.vts), dependency-free ASCII.
+
+Enough to inspect the sinker/rifting fields in ParaView: point coordinates
+plus any number of scalar or 3-vector point-data arrays defined on the
+structured node lattice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def write_vts(path: str, mesh, point_data: dict[str, np.ndarray]) -> None:
+    """Write node coordinates and nodal fields of a structured mesh.
+
+    ``point_data`` values may be shape ``(nnodes,)`` (scalar) or
+    ``(nnodes, 3)`` / interleaved ``(3*nnodes,)`` (vector).
+    """
+    nnx, nny, nnz = mesh.nodes_per_dim
+    extent = f"0 {nnx - 1} 0 {nny - 1} 0 {nnz - 1}"
+    lines = [
+        '<?xml version="1.0"?>',
+        '<VTKFile type="StructuredGrid" version="0.1" byte_order="LittleEndian">',
+        f'  <StructuredGrid WholeExtent="{extent}">',
+        f'    <Piece Extent="{extent}">',
+        "      <Points>",
+        '        <DataArray type="Float64" NumberOfComponents="3" format="ascii">',
+    ]
+    lines.append(
+        "\n".join(" ".join(f"{v:.9g}" for v in row) for row in mesh.coords)
+    )
+    lines += ["        </DataArray>", "      </Points>", "      <PointData>"]
+    for name, arr in point_data.items():
+        arr = np.asarray(arr, dtype=np.float64)
+        if arr.ndim == 1 and arr.size == 3 * mesh.nnodes:
+            arr = arr.reshape(-1, 3)
+        if arr.ndim == 2:
+            ncomp = arr.shape[1]
+            body = "\n".join(" ".join(f"{v:.9g}" for v in row) for row in arr)
+        else:
+            if arr.size != mesh.nnodes:
+                raise ValueError(
+                    f"field {name!r} has {arr.size} values, expected "
+                    f"{mesh.nnodes} (scalar) or {3 * mesh.nnodes} (vector)"
+                )
+            ncomp = 1
+            body = "\n".join(f"{v:.9g}" for v in arr)
+        lines.append(
+            f'        <DataArray type="Float64" Name="{name}" '
+            f'NumberOfComponents="{ncomp}" format="ascii">'
+        )
+        lines.append(body)
+        lines.append("        </DataArray>")
+    lines += [
+        "      </PointData>",
+        "    </Piece>",
+        "  </StructuredGrid>",
+        "</VTKFile>",
+    ]
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")

@@ -1,0 +1,5 @@
+"""Energy (temperature) equation: Q1 SUPG advection-diffusion (Eq. 20)."""
+
+from .supg import EnergySolver, q1_companion_mesh, supg_tau
+
+__all__ = ["EnergySolver", "q1_companion_mesh", "supg_tau"]

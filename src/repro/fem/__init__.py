@@ -1,0 +1,40 @@
+"""Finite element substrate: bases, quadrature, structured meshes, assembly.
+
+This package provides the discretization layer underneath the Stokes solver:
+tensor-product Lagrange bases (Q1/Q2 hexahedra), the discontinuous P1
+pressure basis defined in *physical* coordinates (as required to retain the
+accuracy of the Q2-P1disc pair on deformed meshes, cf. paper SS II-B), Gauss
+quadrature, a DMDA-like structured hexahedral mesh with IJK topology, and
+vectorized (chunked) assembly of all the operators the paper needs.
+"""
+
+from .quadrature import GaussQuadrature, gauss_1d
+from .basis import (
+    HexBasis,
+    P1DiscBasis,
+    lagrange_1d,
+    q1_basis,
+    q2_basis,
+    tensor_line_matrices,
+)
+from .mesh import StructuredMesh
+from .bc import DirichletBC, boundary_nodes, component_dofs
+from . import assembly
+from . import geometry
+
+__all__ = [
+    "GaussQuadrature",
+    "gauss_1d",
+    "HexBasis",
+    "P1DiscBasis",
+    "lagrange_1d",
+    "q1_basis",
+    "q2_basis",
+    "tensor_line_matrices",
+    "StructuredMesh",
+    "DirichletBC",
+    "boundary_nodes",
+    "component_dofs",
+    "assembly",
+    "geometry",
+]

@@ -1,0 +1,67 @@
+"""Gauss-Legendre quadrature on lines and hexahedra.
+
+The paper integrates Q2 elements with a 3x3x3 Gauss rule (27 points), which
+is exact for the polynomial degrees appearing in the variable-coefficient
+viscous block up to the coefficient's own variation.  The rules here are
+tensor products of 1D Gauss-Legendre rules on [-1, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def gauss_1d(npoints: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return (points, weights) of the ``npoints``-point Gauss-Legendre rule.
+
+    The rule integrates polynomials of degree ``2 * npoints - 1`` exactly on
+    the reference interval [-1, 1].
+    """
+    if npoints < 1:
+        raise ValueError("quadrature rule needs at least one point")
+    pts, wts = np.polynomial.legendre.leggauss(npoints)
+    return pts.astype(np.float64), wts.astype(np.float64)
+
+
+@dataclass(frozen=True)
+class GaussQuadrature:
+    """Tensor-product Gauss rule on the reference hexahedron [-1, 1]^3.
+
+    Attributes
+    ----------
+    points:
+        Array of shape ``(nq, 3)`` with reference coordinates.  Point
+        ordering is x-fastest: ``q = i + n*(j + n*k)`` for 1D index
+        ``(i, j, k)``, matching the tensor-product kernels in
+        :mod:`repro.matfree.tensor`.
+    weights:
+        Array of shape ``(nq,)``.
+    npoints_1d:
+        Number of points per direction.
+    """
+
+    points: np.ndarray
+    weights: np.ndarray
+    npoints_1d: int
+
+    @classmethod
+    def hex(cls, npoints_1d: int = 3) -> "GaussQuadrature":
+        """Build the tensor-product rule with ``npoints_1d`` points/direction."""
+        p1, w1 = gauss_1d(npoints_1d)
+        # x fastest, then y, then z: index q = i + n*(j + n*k)
+        Z, Y, X = np.meshgrid(p1, p1, p1, indexing="ij")
+        pts = np.column_stack([X.ravel(), Y.ravel(), Z.ravel()])
+        WZ, WY, WX = np.meshgrid(w1, w1, w1, indexing="ij")
+        wts = (WX * WY * WZ).ravel()
+        return cls(points=pts, weights=wts, npoints_1d=npoints_1d)
+
+    @property
+    def npoints(self) -> int:
+        """Total number of quadrature points."""
+        return self.points.shape[0]
+
+    def line(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the underlying 1D rule (points, weights)."""
+        return gauss_1d(self.npoints_1d)

@@ -1,0 +1,82 @@
+"""Shared machinery for the viscous-operator implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fem.quadrature import GaussQuadrature
+from ..fem import assembly
+
+
+class ViscousOperatorBase:
+    """Common state for ``v -> -div(2 eta D(v))`` on interleaved Q2 dofs.
+
+    Subclasses implement :meth:`apply`.  ``eta_q`` is the effective
+    viscosity at the quadrature points, shape ``(nel, nq)`` -- in the full
+    pipeline this is the MPM-projected field (SS II-C).
+    """
+
+    #: label used in benchmark tables (matches Table I rows)
+    name = "base"
+
+    def __init__(self, mesh, eta_q: np.ndarray, quad: GaussQuadrature | None = None,
+                 chunk: int = 2048):
+        self.mesh = mesh
+        self.quad = quad or GaussQuadrature.hex(3)
+        eta_q = np.asarray(eta_q, dtype=np.float64)
+        if eta_q.shape != (mesh.nel, self.quad.npoints):
+            raise ValueError(
+                f"eta_q must have shape {(mesh.nel, self.quad.npoints)}, "
+                f"got {eta_q.shape}"
+            )
+        self.eta_q = eta_q
+        self.chunk = int(chunk)
+        self.ndof = 3 * mesh.nnodes
+        #: number of operator applications performed (cost accounting)
+        self.napplies = 0
+        conn = mesh.connectivity
+        self._edofs = (
+            3 * conn[:, :, None] + np.arange(3)[None, None, :]
+        )  # (nel, nb, 3)
+
+    # -- interface ------------------------------------------------------ #
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        self.napplies += 1
+        return self.apply(u)
+
+    @property
+    def flops_performed(self) -> int:
+        """Analytic flop total for the applies made through ``__call__``.
+
+        Uses the per-element counts of :mod:`repro.perf.counts` for this
+        kernel kind (counted calls only; direct ``apply`` calls bypass the
+        counter by design -- smoother internals go through ``__call__``).
+        """
+        from ..perf.counts import OPERATOR_COUNTS
+
+        counts = OPERATOR_COUNTS.get(self.name)
+        if counts is None:
+            return 0
+        return counts.flops * self.mesh.nel * self.napplies
+
+    def diagonal(self) -> np.ndarray:
+        """Operator diagonal (for Jacobi/Chebyshev), computed matrix-free."""
+        return assembly.viscous_diagonal(self.mesh, self.eta_q, self.quad)
+
+    # -- helpers for subclasses ----------------------------------------- #
+    def _gather(self, u: np.ndarray, s: int, e: int) -> np.ndarray:
+        """Element-local velocities ``(nel_chunk, nb, 3)``."""
+        return u.reshape(-1, 3)[self.mesh.connectivity[s:e]]
+
+    def _scatter(self, ye: np.ndarray, s: int, e: int, out: np.ndarray) -> None:
+        """Accumulate element contributions into the global vector."""
+        out += np.bincount(
+            self._edofs[s:e].ravel(), weights=ye.ravel(), minlength=self.ndof
+        )
+
+    def _chunks(self):
+        for start in range(0, self.mesh.nel, self.chunk):
+            yield start, min(self.mesh.nel, start + self.chunk)

@@ -1,0 +1,108 @@
+"""Generic multigrid hierarchy and V-cycle.
+
+The same cycle code runs both the geometric hierarchy (whose finest level
+may be matrix-free) and the smoothed-aggregation hierarchy -- matching the
+paper's design where "the same smoother configuration is used in the
+geometric and algebraic parts of the multigrid cycle".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class MGLevel:
+    """One multigrid level.
+
+    Attributes
+    ----------
+    apply:
+        Operator application ``v -> A v`` (boundary conditions included).
+    smoother:
+        Object with ``smooth(b, x) -> x`` (ignored on the coarsest level).
+    prolong:
+        Sparse matrix interpolating from the *next coarser* level to this
+        one (``None`` on the coarsest level).  Restriction is the transpose
+        (paper SS III-C).
+    bc_mask:
+        Boolean mask of constrained dofs (residuals restricted to a coarser
+        level are zeroed there), or ``None``.
+    coarse_solve:
+        On the coarsest level only: ``b -> x`` (approximate) solver.
+    """
+
+    apply: Callable[[np.ndarray], np.ndarray]
+    smoother: object | None = None
+    prolong: object | None = None
+    bc_mask: np.ndarray | None = None
+    coarse_solve: Callable[[np.ndarray], np.ndarray] | None = None
+    # diagnostics
+    ndof: int = 0
+    label: str = ""
+
+
+class MGHierarchy:
+    """A stack of :class:`MGLevel` (finest first) with a V-cycle driver.
+
+    Instances are callables ``r -> x``, i.e. usable directly as Krylov
+    preconditioners (one V-cycle per application, as the paper configures
+    the action of ``J_uu^{-1}``).
+    """
+
+    def __init__(self, levels: list[MGLevel], cycles: int = 1, gamma: int = 1):
+        if not levels:
+            raise ValueError("empty hierarchy")
+        if levels[-1].coarse_solve is None:
+            raise ValueError("coarsest level must define coarse_solve")
+        if gamma < 1:
+            raise ValueError("cycle index gamma must be >= 1")
+        self.levels = levels
+        self.cycles = int(cycles)
+        #: cycle index: 1 = V-cycle, 2 = W-cycle
+        self.gamma = int(gamma)
+        self.coarse_solve_calls = 0
+
+    @property
+    def nlevels(self) -> int:
+        return len(self.levels)
+
+    def vcycle(self, b: np.ndarray, x: np.ndarray | None = None, level: int = 0) -> np.ndarray:
+        """One multigrid cycle on ``A x = b`` starting at ``level``.
+
+        ``gamma = 1`` gives the V-cycle the paper uses throughout;
+        ``gamma = 2`` visits each coarse level twice (W-cycle).
+        """
+        lvl = self.levels[level]
+        if level == self.nlevels - 1:
+            self.coarse_solve_calls += 1
+            return lvl.coarse_solve(b)
+        x = lvl.smoother.smooth(b, x)
+        coarse = self.levels[level + 1]
+        r = b - lvl.apply(x)
+        rc = lvl.prolong.T @ r
+        if coarse.bc_mask is not None:
+            rc[coarse.bc_mask] = 0.0
+        # gamma = 1: V-cycle; gamma = 2: W-cycle (iterate the coarse-level
+        # cycle on the same restricted residual)
+        ec = None
+        for _ in range(self.gamma):
+            ec = self.vcycle(rc, ec, level + 1)
+        x = x + lvl.prolong @ ec
+        return lvl.smoother.smooth(b, x)
+
+    def solve_iterate(self, b, x=None, cycles=None):
+        """Run repeated V-cycles as a stationary iteration."""
+        for _ in range(cycles or self.cycles):
+            x = self.vcycle(b, x)
+        return x
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        """Preconditioner interface: ``cycles`` V-cycles from a zero guess."""
+        x = None
+        for _ in range(self.cycles):
+            x = self.vcycle(r, x)
+        return x

@@ -1,0 +1,250 @@
+"""Geometric multigrid for the Q2 viscous block (paper SS III-C, SS IV).
+
+Hierarchy layout (paper default, 3 levels):
+
+* finest level: matrix-free tensor-product operator (no assembled matrix
+  ever exists at this resolution -- the memory savings that let larger
+  problems fit on a machine);
+* next level: assembled matrix, *rediscretized* on the coarse mesh (you
+  cannot form a Galerkin product from a matrix-free fine operator);
+* lower levels: Galerkin ``R A P`` from the assembled level above
+  (more robust for rough coefficients, at assembly cost);
+* coarsest level: one V-cycle of smoothed aggregation (GAMG substitute),
+  exact LU, block-Jacobi LU, or CG/ASM (the SS V rifting configuration).
+
+Table IV's GMG-i / GMG-ii configurations are expressed through
+:class:`GMGConfig` (assembled fine level, Galerkin everywhere).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..fem import assembly
+from ..fem.bc import DirichletBC
+from ..fem.quadrature import GaussQuadrature
+from ..matfree import make_operator
+from ..solvers.chebyshev import ChebyshevSmoother
+from ..solvers.relaxation import BlockJacobiLU
+from .cycles import MGLevel, MGHierarchy
+from .transfer import vector_prolongation
+from .sa import SAConfig, smoothed_aggregation, rigid_body_modes
+
+
+@dataclass
+class GMGConfig:
+    """Geometric multigrid configuration.
+
+    Attributes
+    ----------
+    levels:
+        Number of geometric levels (paper uses 3).
+    fine_operator:
+        One of ``asmb | mf | tensor | tensor_c`` -- the Table I kernel used
+        on the finest level (smoother + residual evaluations).
+    galerkin:
+        If True, levels below the first assembled one use Galerkin RAP;
+        otherwise they are rediscretized.
+    galerkin_from_fine:
+        If True *and* the fine operator is assembled, the first coarse
+        level is also a Galerkin product of the fine matrix (the paper's
+        GMG-ii configuration).  Default False: level 1 is rediscretized
+        regardless of the fine kernel, so all four Table I kernels share
+        an identical hierarchy.
+    smoother_degree:
+        Chebyshev degree per pre/post smooth: 2 gives the paper's V(2,2),
+        3 gives the V(3,3) used in the rifting runs.
+    coarse_solver:
+        ``sa`` (one V-cycle of smoothed aggregation, the paper's default),
+        ``lu``, ``bjacobi-lu``, or ``asm-cg`` (SS V configuration).
+    coarse_nblocks:
+        Virtual subdomain count for block-Jacobi / ASM coarse solvers.
+    """
+
+    levels: int = 3
+    fine_operator: str = "tensor"
+    galerkin: bool = True
+    galerkin_from_fine: bool = False
+    smoother_degree: int = 2
+    coarse_solver: str = "sa"
+    coarse_nblocks: int = 1
+    sa_config: SAConfig = field(default_factory=SAConfig)
+    asm_overlap: int = 4
+    asm_rtol: float = 1e-4
+    asm_maxiter: int = 25
+    cycles: int = 1
+    gamma: int = 1  # 1 = V-cycle, 2 = W-cycle
+
+
+@dataclass
+class GMGSetupStats:
+    """Setup-time breakdown reported by :func:`build_gmg` (Table II columns)."""
+
+    coarse_setup_seconds: float = 0.0
+    assemble_seconds: float = 0.0
+    galerkin_seconds: float = 0.0
+    level_ndofs: list[int] = field(default_factory=list)
+
+
+def _wrap_assembled(A_bc: sp.csr_matrix):
+    return lambda v: A_bc @ v
+
+
+def _coarsest_solver(A_bc: sp.csr_matrix, mesh, bc: DirichletBC, cfg: GMGConfig):
+    """Build the coarse-grid solve closure for the coarsest geometric level."""
+    if cfg.coarse_solver == "lu":
+        lu = spla.splu(A_bc.tocsc())
+        return lu.solve
+    if cfg.coarse_solver == "bjacobi-lu":
+        return BlockJacobiLU(A_bc, cfg.coarse_nblocks)
+    if cfg.coarse_solver == "sa":
+        B = rigid_body_modes(mesh.coords, bc.mask)
+        sa = smoothed_aggregation(A_bc, B, cfg.sa_config)
+        return sa
+    if cfg.coarse_solver == "asm-cg":
+        from ..solvers.asm import AdditiveSchwarz
+        from ..solvers.krylov import cg
+
+        # symmetric (non-restricted) variant: the inner accelerator is CG
+        M = AdditiveSchwarz(
+            A_bc, nsub=cfg.coarse_nblocks, overlap=cfg.asm_overlap,
+            subsolve="ilu0", restricted=False,
+        )
+        def solve(b):
+            return cg(
+                lambda v: A_bc @ v, b, M=M, rtol=cfg.asm_rtol,
+                maxiter=cfg.asm_maxiter,
+            ).x
+        return solve
+    raise ValueError(f"unknown coarse solver {cfg.coarse_solver!r}")
+
+
+def build_gmg(
+    meshes: list,
+    eta_levels: list[np.ndarray],
+    bc_builder,
+    config: GMGConfig | None = None,
+) -> tuple[MGHierarchy, GMGSetupStats]:
+    """Assemble the geometric hierarchy for the viscous block.
+
+    Parameters
+    ----------
+    meshes:
+        Nested meshes, *finest first* (e.g. ``mesh.hierarchy(3)`` reversed --
+        use ``mesh.hierarchy(n)[::-1]``); only the first ``config.levels``
+        are used.
+    eta_levels:
+        Viscosity at quadrature points per mesh, finest first.  Entries for
+        Galerkin levels may be ``None``.
+    bc_builder:
+        ``mesh -> DirichletBC`` building the velocity-space constraints for
+        a given level (same faces/components on every level).
+    """
+    cfg = config or GMGConfig()
+    if len(meshes) < cfg.levels:
+        raise ValueError(f"need {cfg.levels} meshes, got {len(meshes)}")
+    meshes = meshes[: cfg.levels]
+    stats = GMGSetupStats()
+    quad = GaussQuadrature.hex(3)
+    bcs = [bc_builder(m) for m in meshes]
+
+    levels: list[MGLevel] = []
+    assembled: list[sp.csr_matrix | None] = [None] * cfg.levels
+
+    if cfg.levels == 1:
+        # degenerate hierarchy: assemble and hand the whole problem to the
+        # coarse solver (useful for tiny meshes and unit tests)
+        bc0 = bcs[0]
+        t0 = time.perf_counter()
+        A_raw = assembly.assemble_viscous(meshes[0], eta_levels[0], quad)
+        A_bc, _ = bc0.eliminate(A_raw, np.zeros(3 * meshes[0].nnodes))
+        stats.assemble_seconds += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        coarse = _coarsest_solver(A_bc, meshes[0], bc0, cfg)
+        stats.coarse_setup_seconds += time.perf_counter() - t0
+        stats.level_ndofs.append(3 * meshes[0].nnodes)
+        lvl = MGLevel(
+            apply=_wrap_assembled(A_bc), coarse_solve=coarse, bc_mask=bc0.mask,
+            ndof=3 * meshes[0].nnodes, label=f"single[{cfg.coarse_solver}]",
+        )
+        return MGHierarchy([lvl], cycles=cfg.cycles, gamma=cfg.gamma), stats
+
+    fine_is_assembled = cfg.fine_operator == "asmb"
+    # finest level
+    bc0 = bcs[0]
+    t0 = time.perf_counter()
+    op = make_operator(cfg.fine_operator, meshes[0], eta_levels[0], quad=quad)
+    apply0 = bc0.wrap_apply(op.apply)
+    diag0 = op.diagonal()
+    diag0[bc0.mask] = 1.0
+    if fine_is_assembled:
+        A_bc, _ = bc0.eliminate(op.matrix, np.zeros(3 * meshes[0].nnodes))
+        assembled[0] = A_bc
+        stats.assemble_seconds += time.perf_counter() - t0
+    levels.append(
+        MGLevel(
+            apply=apply0,
+            smoother=ChebyshevSmoother(apply0, diag0, degree=cfg.smoother_degree),
+            bc_mask=bc0.mask,
+            ndof=3 * meshes[0].nnodes,
+            label=f"gmg-fine[{cfg.fine_operator}]",
+        )
+    )
+    stats.level_ndofs.append(3 * meshes[0].nnodes)
+
+    # coarser levels: each needs the prolongator from itself to the level
+    # above, both for the cycle and for the Galerkin products
+    for k in range(1, cfg.levels):
+        mesh = meshes[k]
+        bc = bcs[k]
+        P = vector_prolongation(meshes[k - 1], mesh)
+        levels[k - 1].prolong = P
+        use_galerkin = cfg.galerkin and assembled[k - 1] is not None
+        if k == 1 and not cfg.galerkin_from_fine:
+            use_galerkin = False
+        if use_galerkin:
+            t0 = time.perf_counter()
+            Ak = (P.T @ assembled[k - 1] @ P).tocsr()
+            # re-impose identity rows/cols at the coarse Dirichlet dofs
+            keep = sp.diags((~bc.mask).astype(float))
+            Ak = (keep @ Ak @ keep + sp.diags(bc.mask.astype(float))).tocsr()
+            stats.galerkin_seconds += time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            A_raw = assembly.assemble_viscous(mesh, eta_levels[k], quad)
+            Ak, _ = bc.eliminate(A_raw, np.zeros(3 * mesh.nnodes))
+            stats.assemble_seconds += time.perf_counter() - t0
+        assembled[k] = Ak
+        apply_k = _wrap_assembled(Ak)
+        diag = Ak.diagonal().copy()
+        diag[diag == 0.0] = 1.0
+        if k == cfg.levels - 1:
+            t0 = time.perf_counter()
+            coarse = _coarsest_solver(Ak, mesh, bc, cfg)
+            stats.coarse_setup_seconds += time.perf_counter() - t0
+            levels.append(
+                MGLevel(
+                    apply=apply_k,
+                    coarse_solve=coarse,
+                    bc_mask=bc.mask,
+                    ndof=3 * mesh.nnodes,
+                    label=f"gmg-coarse[{cfg.coarse_solver}]",
+                )
+            )
+        else:
+            levels.append(
+                MGLevel(
+                    apply=apply_k,
+                    smoother=ChebyshevSmoother(apply_k, diag, degree=cfg.smoother_degree),
+                    bc_mask=bc.mask,
+                    ndof=3 * mesh.nnodes,
+                    label="gmg-assembled",
+                )
+            )
+        stats.level_ndofs.append(3 * mesh.nnodes)
+    return MGHierarchy(levels, cycles=cfg.cycles, gamma=cfg.gamma), stats

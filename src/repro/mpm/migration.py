@@ -1,0 +1,124 @@
+"""Material point migration between subdomains (SS II-D).
+
+After advection, each rank runs point location; points no longer contained
+in the local subdomain are inserted into a send list ``L_s`` and shipped to
+*all* neighboring subdomains.  Receivers re-run point location on the
+received list ``L_r``, keep what they own, and delete the rest.  Points
+contained in no subdomain left the domain (outflow) and are deleted.  The
+same flooding protocol is reproduced here on the virtual communicator, so
+tests can assert conservation (no point is lost or duplicated while inside
+the domain) and the benches can count migration traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.comm import VirtualComm
+from ..parallel.decomposition import BlockDecomposition
+from .location import locate_points
+from .points import MaterialPoints
+
+
+def count_points_per_element(mesh, points: MaterialPoints) -> np.ndarray:
+    """Points per element (ignores points with ``el == -1``)."""
+    inside = points.el >= 0
+    return np.bincount(points.el[inside], minlength=mesh.nel)
+
+
+def migrate_points(
+    decomp: BlockDecomposition,
+    comm: VirtualComm,
+    rank_points: list[MaterialPoints],
+) -> tuple[list[MaterialPoints], int]:
+    """Run one migration round over per-rank point sets.
+
+    ``rank_points[r]`` holds rank r's points *after* advection (positions
+    updated, ``el`` caches refreshed by :func:`advect_points`; points that
+    left the global domain have ``el == -1``).  Returns the new per-rank
+    point sets and the number of points deleted (left the domain).
+    """
+    mesh = decomp.mesh
+    deleted = 0
+    # phase 1: every rank identifies and sends its L_s
+    for rank in range(decomp.nranks):
+        pts = rank_points[rank]
+        if pts.n == 0:
+            continue
+        out_of_domain = pts.el < 0
+        deleted += int(out_of_domain.sum())
+        pts.remove(out_of_domain)
+        owner = decomp.element_owner[pts.el] if pts.n else np.empty(0, dtype=int)
+        leaving = owner != rank
+        if leaving.any():
+            L_s = pts.subset(np.flatnonzero(leaving))
+            pts.remove(leaving)
+            # the paper's protocol: send L_s to *all* neighbors and let the
+            # receivers' point-location sort it out
+            wire = L_s.x.nbytes + L_s.lithology.nbytes + L_s.plastic_strain.nbytes
+            for nbr in decomp.neighbors(rank):
+                comm.send(rank, nbr, L_s, nbytes=wire)
+    # phase 2: receivers keep what they own
+    for rank in range(decomp.nranks):
+        for _, L_r in comm.recv_all(rank):
+            els, xi, lost = locate_points(mesh, L_r.x, hints=L_r.el)
+            owner = np.where(lost, -1, decomp.element_owner[els])
+            mine = owner == rank
+            if mine.any():
+                keep = L_r.subset(np.flatnonzero(mine))
+                keep.el = els[mine]
+                keep.xi = xi[mine]
+                rank_points[rank].extend(keep)
+            # everything else in L_r is deleted by this receiver (it is
+            # either owned elsewhere -- that rank got its own copy -- or
+            # outside the domain)
+    return rank_points, deleted
+
+
+def populate_empty_cells(
+    mesh,
+    points: MaterialPoints,
+    min_per_element: int = 1,
+    points_per_dim: int = 2,
+    nodal_fields: dict[str, np.ndarray] | None = None,
+    rng: np.random.Generator | None = None,
+) -> int:
+    """Population control: inject points into depleted elements.
+
+    Large deformation can empty elements of material points, leaving the
+    projection (Eq. 12) without data.  New points are seeded on a regular
+    sub-lattice of each depleted element; per-point properties are
+    interpolated from corner-lattice ``nodal_fields`` (e.g. the last
+    projected lithology/strain fields) when provided, else copied from the
+    globally nearest existing point.  Returns the number injected.
+    """
+    from .points import seed_points
+    from .projection import interpolate_nodal_at_points
+
+    counts = count_points_per_element(mesh, points)
+    depleted = np.flatnonzero(counts < min_per_element)
+    if depleted.size == 0:
+        return 0
+    template = seed_points(mesh, points_per_dim=points_per_dim, rng=rng)
+    sel = np.isin(template.el, depleted)
+    new = template.subset(np.flatnonzero(sel))
+    if nodal_fields:
+        if "lithology" in nodal_fields:
+            vals = interpolate_nodal_at_points(
+                mesh, nodal_fields["lithology"], new.el, new.xi
+            )
+            new.lithology = np.rint(vals).astype(np.int32)
+        if "plastic_strain" in nodal_fields:
+            new.plastic_strain = interpolate_nodal_at_points(
+                mesh, nodal_fields["plastic_strain"], new.el, new.xi
+            )
+    elif points.n:
+        # nearest-existing-point copy (brute force is fine at our scales)
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(points.x)
+        _, nearest = tree.query(new.x)
+        new.lithology = points.lithology[nearest].copy()
+        new.plastic_strain = points.plastic_strain[nearest].copy()
+    points.extend(new)
+    return new.n

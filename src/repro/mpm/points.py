@@ -1,0 +1,116 @@
+"""Material point container and seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MaterialPoints:
+    """Struct-of-arrays material point set.
+
+    Mandatory per-point state: position ``x``, integer ``lithology``,
+    accumulated ``plastic_strain``, and the location cache ``(el, xi)``
+    maintained by :func:`repro.mpm.location.locate_points`.  Arbitrary
+    extra per-point history fields can be attached via :meth:`add_field`.
+    """
+
+    def __init__(self, x: np.ndarray, lithology: np.ndarray | None = None):
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != 3:
+            raise ValueError("positions must be (n, 3)")
+        self.x = x
+        n = x.shape[0]
+        self.lithology = (
+            np.zeros(n, dtype=np.int32)
+            if lithology is None
+            else np.asarray(lithology, dtype=np.int32).copy()
+        )
+        self.plastic_strain = np.zeros(n)
+        self.el = np.full(n, -1, dtype=np.int64)
+        self.xi = np.zeros((n, 3))
+        self._extra: dict[str, np.ndarray] = {}
+
+    @property
+    def n(self) -> int:
+        return self.x.shape[0]
+
+    def add_field(self, name: str, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.shape[0] != self.n:
+            raise ValueError(f"field {name!r} has wrong length")
+        self._extra[name] = values.copy()
+
+    def field(self, name: str) -> np.ndarray:
+        return self._extra[name]
+
+    @property
+    def field_names(self) -> list[str]:
+        return list(self._extra)
+
+    def subset(self, idx: np.ndarray) -> "MaterialPoints":
+        """A new point set holding rows ``idx`` (copy)."""
+        out = MaterialPoints(self.x[idx], self.lithology[idx])
+        out.plastic_strain = self.plastic_strain[idx].copy()
+        out.el = self.el[idx].copy()
+        out.xi = self.xi[idx].copy()
+        for k, v in self._extra.items():
+            out._extra[k] = v[idx].copy()
+        return out
+
+    def remove(self, mask: np.ndarray) -> "MaterialPoints":
+        """Drop the points flagged in ``mask`` (in place); returns self."""
+        keep = ~np.asarray(mask, dtype=bool)
+        self.x = self.x[keep]
+        self.lithology = self.lithology[keep]
+        self.plastic_strain = self.plastic_strain[keep]
+        self.el = self.el[keep]
+        self.xi = self.xi[keep]
+        for k in self._extra:
+            self._extra[k] = self._extra[k][keep]
+        return self
+
+    def extend(self, other: "MaterialPoints") -> "MaterialPoints":
+        """Append another point set (in place); returns self."""
+        self.x = np.vstack([self.x, other.x])
+        self.lithology = np.concatenate([self.lithology, other.lithology])
+        self.plastic_strain = np.concatenate(
+            [self.plastic_strain, other.plastic_strain]
+        )
+        self.el = np.concatenate([self.el, other.el])
+        self.xi = np.vstack([self.xi, other.xi])
+        for k in self._extra:
+            self._extra[k] = np.concatenate([self._extra[k], other._extra[k]])
+        return self
+
+
+def seed_points(
+    mesh,
+    points_per_dim: int = 3,
+    jitter: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> MaterialPoints:
+    """Seed a regular lattice of points per element (optionally jittered).
+
+    Points are placed at the centers of a ``points_per_dim^3`` sub-lattice
+    of each element in *reference* coordinates and mapped through the
+    element geometry, so seeding is correct on deformed meshes too.
+    ``jitter`` perturbs uniformly by that fraction of the sub-cell width.
+    """
+    k = int(points_per_dim)
+    if k < 1:
+        raise ValueError("points_per_dim must be >= 1")
+    centers = (np.arange(k) + 0.5) / k * 2.0 - 1.0
+    Z, Y, X = np.meshgrid(centers, centers, centers, indexing="ij")
+    xi = np.column_stack([X.ravel(), Y.ravel(), Z.ravel()])  # (k^3, 3)
+    if jitter > 0:
+        rng = rng or np.random.default_rng(0)
+        xi = xi + rng.uniform(-jitter, jitter, size=xi.shape) * (2.0 / k)
+        xi = np.clip(xi, -0.999, 0.999)
+    N = mesh.basis.eval(xi)  # (k^3, nb)
+    ecoords = mesh.element_coords()  # (nel, nb, 3)
+    x = np.einsum("qa,nac->nqc", N, ecoords, optimize=True).reshape(-1, 3)
+    pts = MaterialPoints(x)
+    nel = mesh.nel
+    pts.el = np.repeat(np.arange(nel, dtype=np.int64), k**3)
+    pts.xi = np.tile(xi, (nel, 1))
+    return pts

@@ -1,0 +1,26 @@
+"""Virtual parallelism: domain decomposition without MPI.
+
+The paper runs on 192-12288 MPI ranks of a Cray XC-30; this reproduction
+executes sequentially but preserves the *parallel semantics* the paper's
+algorithms depend on: block decomposition of the structured element grid
+(SS II-D), neighbor lists, halo (ghost-node) exchange accounting, and
+material-point migration between subdomains.  Every virtual communication
+is counted (messages, bytes, reductions) so the machine model in
+:mod:`repro.perf` can translate the sequential run into modeled at-scale
+timings for Tables II/III.
+"""
+
+from .comm import VirtualComm, CommStats
+from .decomposition import BlockDecomposition
+from .halo import halo_exchange_plan, reduction_count
+from .views import LocalView, rank_local_residual
+
+__all__ = [
+    "VirtualComm",
+    "CommStats",
+    "BlockDecomposition",
+    "halo_exchange_plan",
+    "reduction_count",
+    "LocalView",
+    "rank_local_residual",
+]

@@ -1,0 +1,42 @@
+"""Halo exchange accounting for the performance model.
+
+The sequential run operates on global vectors, so no data actually moves;
+these routines compute the message counts and byte volumes a real
+distributed run would incur per operator application, which the Edison
+machine model converts into communication time for Tables II/III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .decomposition import BlockDecomposition
+
+
+def halo_exchange_plan(decomp: BlockDecomposition, dofs_per_node: int = 3):
+    """Per-rank halo traffic for one ghost update of a nodal field.
+
+    Returns ``(messages_total, bytes_total, max_bytes_per_rank)``.
+    """
+    msgs = 0
+    total_bytes = 0
+    max_rank_bytes = 0
+    for rank in range(decomp.nranks):
+        nbrs = decomp.neighbors(rank)
+        ghosts = decomp.ghost_node_count(rank)
+        b = ghosts * dofs_per_node * 8
+        msgs += len(nbrs)
+        total_bytes += b
+        max_rank_bytes = max(max_rank_bytes, b)
+    return msgs, total_bytes, max_rank_bytes
+
+
+def reduction_count(krylov_iterations: int, method: str = "gcr") -> int:
+    """Global reductions per solve: dot products of the Krylov method.
+
+    GCR/GMRES perform O(restart) dots per iteration; we count the paper-
+    relevant scaling (2 dots + 1 norm per iteration amortized) -- the term
+    that makes fully distributed coarse solves latency-bound (SS V).
+    """
+    per_it = {"gcr": 3, "fgmres": 3, "gmres": 3, "cg": 2, "chebyshev": 0}
+    return per_it.get(method, 3) * int(krylov_iterations)

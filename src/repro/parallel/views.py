@@ -1,0 +1,120 @@
+"""Per-rank local views of global nodal vectors (the DMDA local/global
+vector pattern).
+
+In PETSc, each rank works on a *local* vector containing its owned nodes
+plus a ghost halo, assembled from and scattered back to the distributed
+global vector.  The sequential reproduction keeps vectors global, but the
+local-view machinery is still needed to execute per-rank element loops
+(e.g. validating that rank-local assembly reproduces the global operator,
+or costing what each rank would touch) and to exercise the gather/scatter
+semantics the migration and halo accounting rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .decomposition import BlockDecomposition
+
+
+class LocalView:
+    """Rank-local index sets and gather/scatter for one subdomain.
+
+    Attributes
+    ----------
+    elements:
+        Global element indices owned by the rank.
+    nodes:
+        Global node indices touched by the rank's elements (owned + ghost),
+        sorted ascending.
+    owned_mask:
+        Boolean over ``nodes``: True where this rank owns the node under
+        the higher-rank-owns-shared-planes convention.
+    """
+
+    def __init__(self, decomp: BlockDecomposition, rank: int):
+        self.decomp = decomp
+        self.rank = int(rank)
+        mesh = decomp.mesh
+        self.elements = decomp.elements_of(rank)
+        conn = mesh.connectivity[self.elements]
+        self.nodes = np.unique(conn)
+        # local connectivity: element -> positions within self.nodes
+        remap = np.full(mesh.nnodes, -1, dtype=np.int64)
+        remap[self.nodes] = np.arange(self.nodes.size)
+        self.local_connectivity = remap[conn]
+        self.owned_mask = self._ownership()
+
+    def _ownership(self) -> np.ndarray:
+        """Owner-computes split: shared lattice planes go to the higher rank."""
+        d, mesh = self.decomp, self.decomp.mesh
+        k = mesh.order
+        rx, ry, rz = d.rank_coords(self.rank)
+        px, py, pz = d.ranks
+        nnx, nny, _ = mesh.nodes_per_dim
+        i = self.nodes % nnx
+        j = (self.nodes // nnx) % nny
+        l = self.nodes // (nnx * nny)
+        lo = np.array([k * d.bx[rx], k * d.by[ry], k * d.bz[rz]])
+        hi = np.array([
+            k * d.bx[rx + 1] - (0 if rx == px - 1 else 1),
+            k * d.by[ry + 1] - (0 if ry == py - 1 else 1),
+            k * d.bz[rz + 1] - (0 if rz == pz - 1 else 1),
+        ])
+        return (
+            (i >= lo[0]) & (i <= hi[0])
+            & (j >= lo[1]) & (j <= hi[1])
+            & (l >= lo[2]) & (l <= hi[2])
+        )
+
+    @property
+    def n_owned(self) -> int:
+        return int(self.owned_mask.sum())
+
+    @property
+    def n_ghost(self) -> int:
+        return int((~self.owned_mask).sum())
+
+    # ------------------------------------------------------------------ #
+    def gather(self, global_vec: np.ndarray, ncomp: int = 1) -> np.ndarray:
+        """Local (owned + ghost) copy of a global nodal vector."""
+        if ncomp == 1:
+            return global_vec[self.nodes].copy()
+        v = global_vec.reshape(-1, ncomp)
+        return v[self.nodes].copy()
+
+    def scatter_add(self, local_vec: np.ndarray, global_vec: np.ndarray,
+                    ncomp: int = 1) -> None:
+        """Accumulate *owned* local entries into the global vector.
+
+        Ghost contributions are dropped -- in a real run they travel to the
+        owner through the halo exchange, and since every node is owned by
+        exactly one rank, summing the owned parts over all ranks
+        reconstructs the global assembly (asserted in the tests).
+        """
+        if ncomp == 1:
+            np.add.at(global_vec, self.nodes[self.owned_mask],
+                      local_vec[self.owned_mask])
+        else:
+            g = global_vec.reshape(-1, ncomp)
+            np.add.at(g, self.nodes[self.owned_mask],
+                      local_vec.reshape(-1, ncomp)[self.owned_mask])
+
+
+def rank_local_residual(decomp: BlockDecomposition, rank: int, op,
+                        u: np.ndarray) -> np.ndarray:
+    """The part of ``op.apply(u)`` this rank's elements contribute.
+
+    Runs the matrix-free kernel restricted to the rank's element set; the
+    sum over ranks (on owned dofs) equals the global apply -- the
+    correctness property of owner-computes parallel FE assembly.
+    """
+    view = LocalView(decomp, rank)
+    mesh = decomp.mesh
+    # build a restricted operator of the same class on a masked eta
+    eta_local = op.eta_q.copy()
+    mask = np.ones(mesh.nel, dtype=bool)
+    mask[view.elements] = False
+    eta_local[mask] = 0.0  # elements owned elsewhere contribute nothing
+    restricted = type(op)(mesh, eta_local, quad=op.quad)
+    return restricted.apply(u)

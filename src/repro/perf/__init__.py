@@ -1,0 +1,33 @@
+"""Performance model: flop/byte counting and machine (roofline) timing.
+
+Reproduces the analysis of SS III-D and Table I exactly (the per-element
+flop and byte counts are the paper's own arithmetic) and provides an
+Edison-like machine model so the scalability tables (II/III) can report
+modeled at-scale numbers next to the measured sequential NumPy timings.
+"""
+
+from .counts import OperatorCounts, OPERATOR_COUNTS, table1_counts
+from .machine import MachineModel, EDISON, LAPTOP
+from .roofline import (
+    apply_time_per_element,
+    modeled_apply_time,
+    modeled_gflops,
+    table1_model,
+    modeled_solve_time,
+    efficiency_metrics,
+)
+
+__all__ = [
+    "OperatorCounts",
+    "OPERATOR_COUNTS",
+    "table1_counts",
+    "MachineModel",
+    "EDISON",
+    "LAPTOP",
+    "apply_time_per_element",
+    "modeled_apply_time",
+    "modeled_gflops",
+    "table1_model",
+    "modeled_solve_time",
+    "efficiency_metrics",
+]

@@ -1,0 +1,34 @@
+"""Nonlinear flow laws: creeping viscosity and brittle (plastic) limiters.
+
+Each lithology in the paper (SS II-A, SS V-A) carries a flow law producing
+an effective shear viscosity ``eta(D(u), p, T)`` and a density.  The laws
+here are written in terms of the second strain-rate invariant
+``J2 = 0.5 D:D`` (so ``eps_II = sqrt(J2)``) and every law exposes both the
+viscosity and its derivative ``d eta / d J2`` -- the scalar the Newton
+linearization of SS III-A needs (``eta' < 0`` for yielding/shear-thinning
+materials).
+"""
+
+from .laws import (
+    ConstantViscosity,
+    PowerLawViscosity,
+    ArrheniusViscosity,
+    FrankKamenetskiiViscosity,
+    strain_rate_invariant,
+    strain_rate_tensor,
+)
+from .plasticity import DruckerPrager
+from .composite import CompositeRheology, Material, boussinesq_density
+
+__all__ = [
+    "ConstantViscosity",
+    "PowerLawViscosity",
+    "ArrheniusViscosity",
+    "FrankKamenetskiiViscosity",
+    "strain_rate_invariant",
+    "strain_rate_tensor",
+    "DruckerPrager",
+    "CompositeRheology",
+    "Material",
+    "boussinesq_density",
+]

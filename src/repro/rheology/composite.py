@@ -1,0 +1,81 @@
+"""Composite visco-plastic rheology and Boussinesq density."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .laws import ConstantViscosity
+from .plasticity import DruckerPrager
+
+
+def boussinesq_density(rho0, alpha, temperature, T_ref=0.0):
+    """Boussinesq buoyancy: ``rho = rho0 (1 - alpha (T - T_ref))``.
+
+    All lithologies in the rifting model (SS V-A) use this form; the
+    compositional part enters through per-lithology ``rho0``.
+    """
+    T = np.asarray(temperature)
+    return np.asarray(rho0) * (1.0 - np.asarray(alpha) * (T - T_ref))
+
+
+class CompositeRheology:
+    """Viscous law + optional plastic limiter + viscosity bounds.
+
+    ``evaluate(eps_II, p, T, plastic_strain)`` returns
+    ``(eta_eff, deta_dJ2, yielding)`` with the derivative taken on
+    whichever branch (viscous or plastic) is active -- outside the bounds
+    the derivative is zero, keeping the Newton linearization consistent
+    with the clipped viscosity.
+    """
+
+    def __init__(
+        self,
+        viscous,
+        plastic: DruckerPrager | None = None,
+        eta_min: float = 0.0,
+        eta_max: float = np.inf,
+    ):
+        self.viscous = viscous
+        self.plastic = plastic
+        if eta_min < 0 or eta_max <= eta_min and not np.isinf(eta_max):
+            raise ValueError(f"invalid viscosity bounds [{eta_min}, {eta_max}]")
+        self.eta_min = float(eta_min)
+        self.eta_max = float(eta_max)
+
+    def evaluate(self, eps_II, pressure=None, temperature=None, plastic_strain=None):
+        eta, deta = self.viscous(eps_II, pressure, temperature)
+        yielding = np.zeros(np.shape(eta), dtype=bool)
+        if self.plastic is not None:
+            eta_eff, deta_pl, yielding = self.plastic.limit(
+                eta, eps_II, pressure, plastic_strain
+            )
+            deta = np.where(yielding, deta_pl, deta)
+            eta = eta_eff
+        clipped = (eta < self.eta_min) | (eta > self.eta_max)
+        eta = np.clip(eta, self.eta_min, self.eta_max)
+        deta = np.where(clipped, 0.0, deta)
+        return eta, deta, yielding
+
+
+@dataclass
+class Material:
+    """One lithology: name, buoyancy parameters, and flow law."""
+
+    name: str
+    rho0: float
+    rheology: CompositeRheology
+    alpha: float = 0.0  # thermal expansivity (Boussinesq)
+    T_ref: float = 0.0
+
+    def density(self, temperature=None):
+        if temperature is None:
+            return np.asarray(self.rho0)
+        return boussinesq_density(self.rho0, self.alpha, temperature, self.T_ref)
+
+    @classmethod
+    def simple(cls, name: str, rho0: float, eta: float) -> "Material":
+        """Constant-viscosity material (the sinker test's two phases)."""
+        return cls(name=name, rho0=rho0,
+                   rheology=CompositeRheology(ConstantViscosity(eta)))

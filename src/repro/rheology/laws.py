@@ -1,0 +1,117 @@
+"""Viscous creep laws.
+
+All laws are vectorized over arrays of quadrature/material points and
+return ``(eta, deta_dJ2)`` where ``J2 = 0.5 D:D`` is the second invariant
+of the strain-rate tensor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: regularization floor for the strain-rate invariant (avoids the
+#: singularity of power-law viscosity at zero strain rate)
+EPS_MIN = 1e-32
+
+
+def strain_rate_tensor(H: np.ndarray) -> np.ndarray:
+    """Symmetric part of a batched velocity gradient ``(..., 3, 3)``."""
+    return 0.5 * (H + np.swapaxes(H, -1, -2))
+
+
+def strain_rate_invariant(D: np.ndarray) -> np.ndarray:
+    """``eps_II = sqrt(0.5 D:D)`` for batched symmetric tensors."""
+    J2 = 0.5 * np.einsum("...ij,...ij->...", D, D)
+    return np.sqrt(np.maximum(J2, EPS_MIN))
+
+
+class ConstantViscosity:
+    """Newtonian rheology: ``eta`` independent of state."""
+
+    def __init__(self, eta: float):
+        if eta <= 0:
+            raise ValueError("viscosity must be positive")
+        self.eta = float(eta)
+
+    def __call__(self, eps_II, pressure=None, temperature=None):
+        eps_II = np.asarray(eps_II)
+        return np.full(eps_II.shape, self.eta), np.zeros(eps_II.shape)
+
+
+class PowerLawViscosity:
+    """Power-law creep: ``eta = eta0 (eps_II / eps0)^(1/n - 1)``.
+
+    ``n = 1`` recovers Newtonian behaviour; ``n > 1`` is shear thinning
+    (``d eta/d J2 < 0``).
+    """
+
+    def __init__(self, eta0: float, n: float, eps0: float = 1.0):
+        if eta0 <= 0 or n <= 0 or eps0 <= 0:
+            raise ValueError("power-law parameters must be positive")
+        self.eta0 = float(eta0)
+        self.n = float(n)
+        self.eps0 = float(eps0)
+
+    def __call__(self, eps_II, pressure=None, temperature=None):
+        e = np.maximum(np.asarray(eps_II, dtype=np.float64), np.sqrt(EPS_MIN))
+        expo = 1.0 / self.n - 1.0
+        eta = self.eta0 * (e / self.eps0) ** expo
+        # d eta / d J2 = (d eta / d eps) / (2 eps)
+        deta = eta * expo / e / (2.0 * e)
+        return eta, deta
+
+
+class ArrheniusViscosity:
+    """Dislocation-creep law with Arrhenius temperature dependence.
+
+    ``eta = 0.5 A^(-1/n) eps_II^(1/n - 1) exp((E + p V) / (n R T))``
+
+    -- the "temperature, pressure, and strain-rate-dependent viscosity
+    defined by an Arrhenius type law" of the rifting model (SS V-A).
+    Temperatures are clipped below at ``T_floor`` to keep the exponent
+    finite near a cold free surface.
+    """
+
+    GAS_CONSTANT = 8.314462618
+
+    def __init__(self, A: float, n: float, E: float, V: float = 0.0,
+                 T_floor: float = 200.0):
+        if A <= 0 or n <= 0:
+            raise ValueError("A and n must be positive")
+        self.A = float(A)
+        self.n = float(n)
+        self.E = float(E)
+        self.V = float(V)
+        self.T_floor = float(T_floor)
+
+    def __call__(self, eps_II, pressure=None, temperature=None):
+        e = np.maximum(np.asarray(eps_II, dtype=np.float64), np.sqrt(EPS_MIN))
+        T = np.maximum(
+            np.asarray(temperature if temperature is not None else 1300.0),
+            self.T_floor,
+        )
+        p = np.asarray(pressure if pressure is not None else 0.0)
+        p = np.maximum(p, 0.0)  # no activation-volume credit for tension
+        expo = 1.0 / self.n - 1.0
+        arr = np.exp((self.E + p * self.V) / (self.n * self.GAS_CONSTANT * T))
+        eta = 0.5 * self.A ** (-1.0 / self.n) * e**expo * arr
+        deta = eta * expo / e / (2.0 * e)
+        return eta, deta
+
+
+class FrankKamenetskiiViscosity:
+    """Linearized-exponent law ``eta = eta0 exp(-theta * T)``.
+
+    The standard nondimensional stand-in for Arrhenius viscosity in
+    convection/rifting benchmarks; convenient for the scaled rifting model.
+    """
+
+    def __init__(self, eta0: float, theta: float):
+        self.eta0 = float(eta0)
+        self.theta = float(theta)
+
+    def __call__(self, eps_II, pressure=None, temperature=None):
+        eps_II = np.asarray(eps_II)
+        T = np.asarray(temperature if temperature is not None else 0.0)
+        eta = self.eta0 * np.exp(-self.theta * T) * np.ones(eps_II.shape)
+        return eta, np.zeros(eps_II.shape)

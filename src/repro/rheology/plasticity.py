@@ -1,0 +1,86 @@
+"""Brittle behaviour: the Drucker-Prager stress limiter (SS V-A).
+
+Rocks near the surface fail plastically rather than creeping; the paper
+parametrizes this with a Drucker-Prager yield stress that caps the
+deviatoric stress the viscous law may produce:
+
+    tau_y = C cos(phi) + p sin(phi)        (pressure-dependent strength)
+    eta_eff = min(eta_viscous, tau_y / (2 eps_II))
+
+Strain softening (damage accumulation) enters by weakening the cohesion
+and friction angle with accumulated plastic strain -- the mechanism that
+localizes the rift shear zones in Fig. 3/4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .laws import EPS_MIN
+
+
+class DruckerPrager:
+    """Drucker-Prager yield envelope with linear strain softening.
+
+    Parameters
+    ----------
+    cohesion / friction_deg:
+        Intact strength parameters (``C`` in Pa or nondimensional,
+        ``phi`` in degrees).
+    cohesion_weak / friction_weak_deg:
+        Fully softened values reached at ``softening_strain``.
+    tension_cutoff:
+        Lower bound on the yield stress.
+    """
+
+    def __init__(
+        self,
+        cohesion: float,
+        friction_deg: float,
+        cohesion_weak: float | None = None,
+        friction_weak_deg: float | None = None,
+        softening_strain: float = 1.0,
+        tension_cutoff: float = 0.0,
+    ):
+        self.C0 = float(cohesion)
+        self.phi0 = np.deg2rad(float(friction_deg))
+        self.C1 = float(cohesion_weak if cohesion_weak is not None else cohesion)
+        self.phi1 = np.deg2rad(
+            float(friction_weak_deg if friction_weak_deg is not None else friction_deg)
+        )
+        self.softening_strain = float(softening_strain)
+        self.tension_cutoff = float(tension_cutoff)
+
+    def strength(self, pressure, plastic_strain=None):
+        """Yield stress ``tau_y(p, eps_plastic)``."""
+        p = np.maximum(np.asarray(pressure, dtype=np.float64), 0.0)
+        if plastic_strain is None:
+            C, phi = self.C0, self.phi0
+        else:
+            s = np.clip(
+                np.asarray(plastic_strain, dtype=np.float64)
+                / self.softening_strain,
+                0.0,
+                1.0,
+            )
+            C = self.C0 + s * (self.C1 - self.C0)
+            phi = self.phi0 + s * (self.phi1 - self.phi0)
+        tau = C * np.cos(phi) + p * np.sin(phi)
+        return np.maximum(tau, self.tension_cutoff)
+
+    def limit(self, eta_visc, eps_II, pressure, plastic_strain=None):
+        """Apply the stress limiter.
+
+        Returns ``(eta_eff, deta_dJ2_plastic, yielding)`` where the
+        derivative is that of the *plastic branch* ``tau_y / (2 eps_II)``
+        (valid where ``yielding`` is True):
+
+            d/dJ2 [tau_y / (2 eps_II)] = -tau_y / (4 eps_II^3).
+        """
+        eps = np.maximum(np.asarray(eps_II, dtype=np.float64), np.sqrt(EPS_MIN))
+        tau_y = self.strength(pressure, plastic_strain)
+        eta_plastic = tau_y / (2.0 * eps)
+        yielding = eta_plastic < np.asarray(eta_visc)
+        eta_eff = np.where(yielding, eta_plastic, eta_visc)
+        deta_plastic = -tau_y / (4.0 * eps**3)
+        return eta_eff, deta_plastic, yielding

@@ -1,0 +1,33 @@
+"""Simulation drivers: the full MPM + nonlinear Stokes + ALE time loop."""
+
+from .fields import (
+    stress_invariant_at_quadrature,
+    stress_invariant_nodal,
+    strain_invariant_at_points,
+    strain_invariant_at_quadrature,
+    pressure_at_points,
+    pressure_at_quadrature,
+    temperature_at_points,
+)
+from .timeloop import Simulation, SimulationConfig
+from .checkpoint import save_checkpoint, load_checkpoint
+from .sinker import SinkerConfig, make_sinker
+from .rifting import RiftingConfig, make_rifting
+
+__all__ = [
+    "strain_invariant_at_points",
+    "stress_invariant_at_quadrature",
+    "stress_invariant_nodal",
+    "strain_invariant_at_quadrature",
+    "pressure_at_points",
+    "pressure_at_quadrature",
+    "temperature_at_points",
+    "Simulation",
+    "SimulationConfig",
+    "save_checkpoint",
+    "load_checkpoint",
+    "SinkerConfig",
+    "make_sinker",
+    "RiftingConfig",
+    "make_rifting",
+]

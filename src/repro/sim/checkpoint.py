@@ -1,0 +1,78 @@
+"""Simulation checkpointing: save/restore the full time-loop state.
+
+Long-term lithospheric runs take 1500-2000 steps (SS V); production codes
+checkpoint.  The state written here is everything the time loop evolves:
+mesh coordinates (ALE), velocity/pressure, temperature, simulation clock,
+and the complete material point set including extra history fields.
+Static configuration (materials, boundary conditions, solver settings) is
+code, not state, and is reconstructed by the caller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpm.points import MaterialPoints
+
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(path: str, sim) -> None:
+    """Write the evolving state of a :class:`repro.sim.Simulation`."""
+    pts = sim.points
+    extra = {f"point_field_{k}": pts.field(k) for k in pts.field_names}
+    np.savez_compressed(
+        path,
+        format_version=FORMAT_VERSION,
+        mesh_shape=np.array(sim.mesh.shape),
+        mesh_coords=sim.mesh.coords,
+        u=sim.u,
+        p=sim.p,
+        T=sim.T if sim.T is not None else np.array([]),
+        time=sim.time,
+        step_index=sim.step_index,
+        points_x=pts.x,
+        points_lithology=pts.lithology,
+        points_plastic_strain=pts.plastic_strain,
+        points_el=pts.el,
+        points_xi=pts.xi,
+        **extra,
+    )
+
+
+def load_checkpoint(path: str, sim) -> None:
+    """Restore state written by :func:`save_checkpoint` into ``sim``.
+
+    ``sim`` must have been constructed with the same mesh topology and
+    materials; the stored shapes are validated.
+    """
+    data = np.load(path)
+    version = int(data["format_version"])
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {version}")
+    shape = tuple(int(s) for s in data["mesh_shape"])
+    if shape != sim.mesh.shape:
+        raise ValueError(
+            f"checkpoint mesh shape {shape} != simulation mesh {sim.mesh.shape}"
+        )
+    sim.mesh.set_coords(data["mesh_coords"])
+    sim.u = data["u"].copy()
+    sim.p = data["p"].copy()
+    T = data["T"]
+    sim.T = T.copy() if T.size else None
+    sim.time = float(data["time"])
+    sim.step_index = int(data["step_index"])
+    pts = MaterialPoints(data["points_x"], data["points_lithology"])
+    pts.plastic_strain = data["points_plastic_strain"].copy()
+    pts.el = data["points_el"].copy()
+    pts.xi = data["points_xi"].copy()
+    for key in data.files:
+        if key.startswith("point_field_"):
+            pts.add_field(key[len("point_field_"):], data[key])
+    sim.points = pts
+    # caches keyed on geometry must be rebuilt against the restored coords
+    sim._B = None
+    if sim.energy is not None:
+        sim.energy.mesh.set_coords(
+            sim.mesh.coords[sim.mesh.corner_node_lattice()]
+        )

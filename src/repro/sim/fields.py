@@ -1,0 +1,102 @@
+"""Evaluation of FE solution fields at material points and quadrature points.
+
+The MPM-nonlinear coupling needs the strain-rate invariant, pressure, and
+temperature *at material points* (where the flow laws live, SS II-C) and
+the strain-rate tensor *at quadrature points* (for the Newton operator's
+anisotropic term, SS III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fem.basis import P1DiscBasis
+from ..fem.geometry import invert_3x3
+from ..fem.quadrature import GaussQuadrature
+from ..rheology.laws import strain_rate_invariant, strain_rate_tensor
+
+
+def velocity_gradient_at_points(mesh, u, els, xi) -> np.ndarray:
+    """Physical velocity gradient ``H[p, c, d] = du_c/dx_d`` at points."""
+    dN = mesh.basis.grad(xi)  # (np, nb, 3)
+    coords = mesh.coords[mesh.connectivity[els]]
+    # per-point Jacobian: J[p, c, d] = sum_a dN[p, a, d] x[p, a, c]
+    Jp = np.einsum("pad,pac->pcd", dN, coords, optimize=True)
+    Jinv, _ = invert_3x3(Jp)
+    G = np.einsum("pae,ped->pad", dN, Jinv, optimize=True)
+    ue = u.reshape(-1, 3)[mesh.connectivity[els]]
+    return np.einsum("pac,pad->pcd", ue, G, optimize=True)
+
+
+def strain_invariant_at_points(mesh, u, els, xi) -> np.ndarray:
+    """``eps_II`` at material points."""
+    H = velocity_gradient_at_points(mesh, u, els, xi)
+    return strain_rate_invariant(strain_rate_tensor(H))
+
+
+def strain_rate_at_quadrature(mesh, u, quad: GaussQuadrature) -> np.ndarray:
+    """Strain-rate tensor ``D[n, q, 3, 3]`` at quadrature points."""
+    G, _, _ = mesh.geometry_at(quad)
+    ue = u.reshape(-1, 3)[mesh.connectivity]
+    H = np.einsum("nac,nqad->nqcd", ue, G, optimize=True)
+    return strain_rate_tensor(H)
+
+
+def strain_invariant_at_quadrature(mesh, u, quad: GaussQuadrature) -> np.ndarray:
+    """``eps_II`` at quadrature points, shape ``(nel, nq)``."""
+    return strain_rate_invariant(strain_rate_at_quadrature(mesh, u, quad))
+
+
+def pressure_at_points(mesh, p, els, xi) -> np.ndarray:
+    """P1disc pressure at material points."""
+    N = mesh.basis.eval(xi)
+    coords = mesh.coords[mesh.connectivity[els]]
+    x = np.einsum("pa,pac->pc", N, coords, optimize=True)
+    centroid, h = mesh.element_centroids_and_extents()
+    psi = np.empty((els.size, 4))
+    psi[:, 0] = 1.0
+    psi[:, 1:] = (x - centroid[els]) / h[els]
+    pe = p.reshape(-1, 4)[els]
+    return np.einsum("pm,pm->p", psi, pe, optimize=True)
+
+
+def pressure_at_quadrature(mesh, p, quad: GaussQuadrature) -> np.ndarray:
+    """P1disc pressure at quadrature points, shape ``(nel, nq)``."""
+    _, _, xq = mesh.geometry_at(quad)
+    centroid, h = mesh.element_centroids_and_extents()
+    psi = P1DiscBasis.eval(xq, centroid, h)
+    return np.einsum("nqm,nm->nq", psi, p.reshape(-1, 4), optimize=True)
+
+
+def temperature_at_points(mesh, T_nodal, els, xi) -> np.ndarray:
+    """Corner-lattice (Q1) temperature at material points."""
+    from ..mpm.projection import interpolate_nodal_at_points
+
+    return interpolate_nodal_at_points(mesh, T_nodal, els, xi)
+
+
+def temperature_at_quadrature(mesh, T_nodal, quad: GaussQuadrature) -> np.ndarray:
+    """Corner-lattice temperature at quadrature points."""
+    from ..mg.coefficients import corner_nodal_to_quadrature
+
+    return corner_nodal_to_quadrature(mesh, T_nodal, quad)
+
+
+def stress_invariant_at_quadrature(
+    mesh, u, eta_q: np.ndarray, quad: GaussQuadrature
+) -> np.ndarray:
+    """Second invariant of the deviatoric stress, ``tau_II = 2 eta eps_II``.
+
+    The quantity the Drucker-Prager envelope caps, and the field plotted
+    in rifting snapshots (Fig. 3); shape ``(nel, nq)``.
+    """
+    eps = strain_invariant_at_quadrature(mesh, u, quad)
+    return 2.0 * np.asarray(eta_q) * eps
+
+
+def stress_invariant_nodal(mesh, u, eta_q: np.ndarray, quad: GaussQuadrature) -> np.ndarray:
+    """Corner-lattice reconstruction of ``tau_II`` for visualization."""
+    from ..mg.coefficients import quadrature_to_corner_nodal
+
+    tau = stress_invariant_at_quadrature(mesh, u, eta_q, quad)
+    return quadrature_to_corner_nodal(mesh, tau, quad)

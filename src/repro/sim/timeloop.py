@@ -1,0 +1,346 @@
+"""The full pTatin3D time loop (SS II, SS V).
+
+One time step:
+
+1. evaluate flow laws at material points (strain rate / pressure /
+   temperature interpolated from the last solution) and project effective
+   viscosity and density to the quadrature points (Eq. 11-13);
+2. solve the nonlinear Stokes problem -- Newton with the true linearization
+   in the Krylov matvec and the Picard operator in the multigrid
+   preconditioner, backtracking line search, Eisenstat-Walker forcing,
+   ``|F| < rtol |F_0|`` within ``max_newton`` steps (the rifting runs use
+   rtol = 1e-2, max 5);
+3. update per-point plastic strain where the yield condition was active;
+4. advect material points with the new velocity (RK2), delete points that
+   exited through open boundaries, migrate across virtual subdomains when
+   a decomposition is attached, and repopulate depleted elements;
+5. ALE: move the free surface kinematically, remesh the interior columns,
+   and relocate all points on the moved mesh;
+6. advance temperature with the SUPG energy solver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ale.freesurface import remesh_vertical, update_free_surface
+from ..diagnostics.monitors import IterationLog
+from ..energy.supg import EnergySolver, q1_companion_mesh
+from ..fem.quadrature import GaussQuadrature
+from ..matfree import NewtonTensorOperator
+from ..mpm.advection import advect_points
+from ..mpm.location import locate_points
+from ..mpm.migration import populate_empty_cells
+from ..mpm.projection import project_to_quadrature
+from ..solvers.nonlinear import newton
+from ..stokes.operators import StokesProblem
+from ..stokes.solve import StokesConfig, solve_stokes
+from .fields import (
+    pressure_at_points,
+    strain_invariant_at_points,
+    strain_rate_at_quadrature,
+    temperature_at_points,
+)
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of the coupled time loop."""
+
+    stokes: StokesConfig = field(default_factory=StokesConfig)
+    newton_rtol: float = 1e-2
+    max_newton: int = 5
+    use_newton_operator: bool = True
+    #: number of leading Picard-linearized corrections per nonlinear solve
+    #: before switching the Krylov matvec to the true Newton operator --
+    #: the paper's "Newton in the terminal phase" strategy (SS III-A)
+    newton_after: int = 1
+    picard_only: bool = False
+    #: fixed relative tolerance for the inner linear solves; None enables
+    #: Eisenstat-Walker adaptive forcing.  Linear rheologies (the sinker)
+    #: should pin this to the paper's 1e-5 so one correction suffices.
+    linear_rtol: float | None = None
+    cfl: float = 0.5
+    advection_scheme: str = "rk2"
+    free_surface: bool = False
+    min_points_per_element: int = 2
+    thermal_kappa: float = 0.0  # 0 disables the energy solve
+
+
+class Simulation:
+    """Coupled MPM / Stokes / energy / ALE driver.
+
+    Parameters
+    ----------
+    mesh:
+        Fine Q2 mesh.
+    materials:
+        ``materials[i]`` governs points with ``lithology == i``.
+    points:
+        Seeded material points (located).
+    bc_builder:
+        Velocity Dirichlet conditions per mesh level.
+    config:
+        :class:`SimulationConfig`.
+    gravity:
+        Body-force vector.
+    T0:
+        Initial temperature on the corner (Q1) lattice; required when
+        ``config.thermal_kappa > 0``.
+    thermal_bc_builder:
+        ``q1_mesh -> DirichletBC`` for the energy solve.
+    """
+
+    def __init__(
+        self,
+        mesh,
+        materials,
+        points,
+        bc_builder,
+        config: SimulationConfig | None = None,
+        gravity=(0.0, 0.0, -9.8),
+        T0: np.ndarray | None = None,
+        thermal_bc_builder=None,
+        decomposition=None,
+        comm=None,
+    ):
+        self.mesh = mesh
+        self.materials = list(materials)
+        self.points = points
+        self.bc_builder = bc_builder
+        self.config = config or SimulationConfig()
+        self.gravity = tuple(gravity)
+        self.quad = GaussQuadrature.hex(3)
+        self.decomposition = decomposition
+        self.comm = comm
+        # solution state
+        self.u = np.zeros(3 * mesh.nnodes)
+        self.p = np.zeros(4 * mesh.nel)
+        self.T = T0
+        self.time = 0.0
+        self.step_index = 0
+        self.log = IterationLog()
+        self.last_yielded_fraction = 0.0
+        self._B = None
+        self._B_coords_version = -1
+        self.energy = None
+        if self.config.thermal_kappa > 0.0:
+            q1m = q1_companion_mesh(mesh)
+            tbc = thermal_bc_builder(q1m) if thermal_bc_builder else None
+            self.energy = EnergySolver(q1m, self.config.thermal_kappa, tbc)
+            if self.T is None:
+                raise ValueError("thermal run needs an initial temperature T0")
+        self._relocate_points()
+
+    # ------------------------------------------------------------------ #
+    # material state
+    # ------------------------------------------------------------------ #
+    def _relocate_points(self) -> None:
+        els, xi, lost = locate_points(self.mesh, self.points.x, hints=self.points.el)
+        self.points.el = np.where(lost, -1, els)
+        self.points.xi = xi
+        if lost.any():
+            self.points.remove(lost)
+
+    def point_properties(self, u: np.ndarray, p: np.ndarray):
+        """Per-point ``(eta, deta_dJ2, rho, yielding)`` from the flow laws."""
+        pts = self.points
+        eps = strain_invariant_at_points(self.mesh, u, pts.el, pts.xi)
+        prs = pressure_at_points(self.mesh, p, pts.el, pts.xi)
+        if self.T is not None:
+            Tp = temperature_at_points(self.mesh, self.T, pts.el, pts.xi)
+        else:
+            Tp = None
+        eta = np.empty(pts.n)
+        deta = np.empty(pts.n)
+        rho = np.empty(pts.n)
+        yielding = np.zeros(pts.n, dtype=bool)
+        for i, mat in enumerate(self.materials):
+            idx = pts.lithology == i
+            if not idx.any():
+                continue
+            Ti = Tp[idx] if Tp is not None else None
+            e, d, y = mat.rheology.evaluate(
+                eps[idx], prs[idx], Ti, pts.plastic_strain[idx]
+            )
+            eta[idx], deta[idx], yielding[idx] = e, d, y
+            rho[idx] = mat.density(Ti)
+        # Newton safeguard: keep the tangent operator positive
+        # semidefinite.  Along the strain direction the tangent viscosity
+        # is 2 eta + 2 eta' (D:D) = 2 eta + 4 eta' J2; perfect plasticity
+        # sits exactly at zero, and the marker->quadrature projection can
+        # push the mix below it, so clamp at 90% of the way there.
+        J2 = np.maximum(eps**2, 1e-30)
+        deta = np.maximum(deta, -0.9 * eta / (2.0 * J2))
+        return eta, deta, rho, yielding
+
+    def quadrature_fields(self, u: np.ndarray, p: np.ndarray):
+        """Projected ``(eta_q, deta_q, rho_q)`` (Eq. 12/13)."""
+        eta_p, deta_p, rho_p, yielding = self.point_properties(u, p)
+        self.last_yielded_fraction = float(yielding.mean()) if yielding.size else 0.0
+        pts = self.points
+        eta_q = project_to_quadrature(self.mesh, pts.el, pts.xi, eta_p, self.quad)
+        deta_q = project_to_quadrature(self.mesh, pts.el, pts.xi, deta_p, self.quad)
+        rho_q = project_to_quadrature(self.mesh, pts.el, pts.xi, rho_p, self.quad)
+        return eta_q, deta_q, rho_q
+
+    # ------------------------------------------------------------------ #
+    # nonlinear Stokes
+    # ------------------------------------------------------------------ #
+    def _divergence(self):
+        from ..fem import assembly
+
+        if self._B is None or self._B_coords_version != self.mesh.coords_version:
+            self._B = assembly.assemble_divergence(self.mesh, self.quad)
+            self._B_coords_version = self.mesh.coords_version
+        return self._B
+
+    def _problem(self, eta_q, rho_q) -> StokesProblem:
+        return StokesProblem(
+            self.mesh, eta_q, rho_q, gravity=self.gravity,
+            bc_builder=self.bc_builder, quad=self.quad,
+        )
+
+    def solve_stokes_nonlinear(self):
+        """Newton (or Picard) solve of the current-configuration Stokes flow.
+
+        Returns the :class:`repro.solvers.nonlinear.NonlinearResult`.
+        """
+        cfg = self.config
+        mesh = self.mesh
+        nu = 3 * mesh.nnodes
+        B = self._divergence()
+
+        def residual(x):
+            eta_q, _, rho_q = self.quadrature_fields(x[:nu], x[nu:])
+            pb = self._problem(eta_q, rho_q)
+            from ..stokes.operators import StokesOperator
+
+            op = StokesOperator(pb, kind=cfg.stokes.operator, divergence=B)
+            return op.residual(x)
+
+        solve_count = [0]
+
+        def solve_linearized(x, F, rtol_lin):
+            eta_q, deta_q, rho_q = self.quadrature_fields(x[:nu], x[nu:])
+            pb = self._problem(eta_q, rho_q)
+            vel_op = None
+            newton_phase = solve_count[0] >= cfg.newton_after
+            solve_count[0] += 1
+            if cfg.use_newton_operator and newton_phase and not cfg.picard_only:
+                Du_q = strain_rate_at_quadrature(mesh, x[:nu], self.quad)
+                vel_op = NewtonTensorOperator(
+                    mesh, eta_q, Du_q, deta_q, quad=self.quad
+                )
+            from dataclasses import replace
+
+            rtol = cfg.linear_rtol if cfg.linear_rtol is not None else max(rtol_lin, 1e-10)
+            sol = solve_stokes(
+                pb,
+                replace(cfg.stokes, rtol=rtol),
+                velocity_operator=vel_op,
+                rhs=F,
+                divergence=B,
+            )
+            return np.concatenate([sol.u, sol.p]), sol.iterations
+
+        x0 = np.concatenate([self.u, self.p])
+        # the iterate must satisfy the boundary conditions so Newton
+        # corrections stay homogeneous there
+        bc = self.bc_builder(mesh)
+        x0[:nu] = bc.homogenize(x0[:nu])
+        if cfg.picard_only:
+            from ..solvers.nonlinear import picard
+
+            result = picard(
+                residual, solve_linearized, x0,
+                rtol=cfg.newton_rtol, maxiter=cfg.max_newton,
+            )
+        else:
+            result = newton(
+                residual, solve_linearized, x0,
+                rtol=cfg.newton_rtol, maxiter=cfg.max_newton,
+            )
+        self.u = result.x[:nu]
+        self.p = result.x[nu:]
+        return result
+
+    # ------------------------------------------------------------------ #
+    # time stepping
+    # ------------------------------------------------------------------ #
+    def stable_dt(self) -> float:
+        """CFL time step from the current velocity field."""
+        _, h = self.mesh.element_centroids_and_extents()
+        vmax = np.abs(self.u).max()
+        if vmax == 0.0:
+            return np.inf
+        return self.config.cfl * float(h.min()) / float(vmax)
+
+    def step(self, dt: float | None = None) -> dict:
+        """Advance one coupled time step; returns a stats dict."""
+        cfg = self.config
+        t0 = time.perf_counter()
+        result = self.solve_stokes_nonlinear()
+        if dt is None:
+            dt = self.stable_dt()
+            if not np.isfinite(dt):
+                dt = 0.0  # no flow yet: nothing to advect
+
+        # plastic strain accumulates at yielded points
+        _, _, _, yielding = self.point_properties(self.u, self.p)
+        if yielding.any() and dt > 0:
+            eps_p = strain_invariant_at_points(
+                self.mesh, self.u, self.points.el, self.points.xi
+            )
+            self.points.plastic_strain[yielding] += eps_p[yielding] * dt
+
+        lost_count = 0
+        if dt > 0:
+            lost = advect_points(self.mesh, self.u, self.points, dt, cfg.advection_scheme)
+            lost_count = int(lost.sum())
+            if lost.any():
+                self.points.remove(lost)
+            injected = populate_empty_cells(
+                self.mesh, self.points, cfg.min_points_per_element
+            )
+        else:
+            injected = 0
+
+        if cfg.free_surface and dt > 0:
+            update_free_surface(self.mesh, self.u, dt)
+            remesh_vertical(self.mesh)
+            self._relocate_points()
+            self._B = None  # geometry changed
+
+        if self.energy is not None and dt > 0:
+            # keep the Q1 companion mesh glued to the (possibly moved) Q2 mesh
+            self.energy.mesh.set_coords(
+                self.mesh.coords[self.mesh.corner_node_lattice()]
+            )
+            u_q1 = self.energy.velocity_at_quadrature(self.mesh, self.u)
+            self.T = self.energy.step(self.T, u_q1, dt)
+
+        seconds = time.perf_counter() - t0
+        self.time += dt
+        self.step_index += 1
+        self.log.record(
+            result.iterations, result.total_linear_iterations, seconds,
+            result.converged,
+        )
+        return {
+            "dt": dt,
+            "newton_iterations": result.iterations,
+            "krylov_iterations": result.total_linear_iterations,
+            "newton_converged": result.converged,
+            "points_lost": lost_count,
+            "points_injected": injected,
+            "yielded_fraction": self.last_yielded_fraction,
+            "seconds": seconds,
+        }
+
+    def run(self, nsteps: int, dt: float | None = None) -> list[dict]:
+        """Run ``nsteps`` steps; returns the per-step stats."""
+        return [self.step(dt) for _ in range(nsteps)]

@@ -1,0 +1,41 @@
+"""Iterative solvers: the PETSc-substitute layer.
+
+Everything the paper takes from PETSc's KSP/SNES is implemented here:
+flexible Krylov methods (GCR -- preferred because it exposes the true
+residual each iteration, SS III-A -- and FGMRES for ill-conditioned cases),
+classical GMRES/CG/BiCGstab, Jacobi-preconditioned Chebyshev smoothing with
+Krylov estimation of the largest eigenvalue, block-Jacobi/ILU(0)/additive-
+Schwarz preconditioners for the coarse solves of SS IV-C and SS V, and
+Newton/Picard nonlinear drivers with backtracking line search and
+Eisenstat-Walker adaptive forcing.
+"""
+
+from .result import SolveResult
+from .krylov import cg, gmres, fgmres, gcr, bicgstab
+from .chebyshev import ChebyshevSmoother, estimate_lambda_max
+from .relaxation import (JacobiPreconditioner, BlockJacobiLU, jacobi_smooth,
+                         SymmetricGaussSeidel)
+from .ilu import ILU0
+from .asm import AdditiveSchwarz
+from .nonlinear import newton, picard, NonlinearResult, eisenstat_walker
+
+__all__ = [
+    "SolveResult",
+    "cg",
+    "gmres",
+    "fgmres",
+    "gcr",
+    "bicgstab",
+    "ChebyshevSmoother",
+    "estimate_lambda_max",
+    "JacobiPreconditioner",
+    "BlockJacobiLU",
+    "jacobi_smooth",
+    "SymmetricGaussSeidel",
+    "ILU0",
+    "AdditiveSchwarz",
+    "newton",
+    "picard",
+    "NonlinearResult",
+    "eisenstat_walker",
+]

@@ -1,0 +1,97 @@
+"""Additive Schwarz method (ASM) with algebraic overlap.
+
+The rifting runs of SS V use CG preconditioned by ASM(overlap=4) with
+ILU(0) subdomain solves as the multigrid coarse-level solver.  The paper
+observes this is efficient below ~2k subdomains but degrades beyond ~4k
+(poor algorithmic scalability + reduction latency), motivating the switch
+to smoothed aggregation -- our ablation A5 reproduces that crossover in
+iteration counts.
+
+Subdomains here are contiguous dof chunks extended by ``overlap`` layers of
+algebraic (matrix-graph) neighbors; the restricted problems are solved with
+either exact sparse LU or a single ILU(0) application.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .ilu import ILU0
+
+
+def _expand_overlap(A: sp.csr_matrix, idx: np.ndarray, overlap: int) -> np.ndarray:
+    """Grow an index set by ``overlap`` layers of matrix-graph neighbors."""
+    mask = np.zeros(A.shape[0], dtype=bool)
+    mask[idx] = True
+    for _ in range(overlap):
+        rows = np.flatnonzero(mask)
+        cols = np.unique(A[rows].indices)
+        mask[cols] = True
+    return np.flatnonzero(mask)
+
+
+class AdditiveSchwarz:
+    """Restricted additive Schwarz preconditioner.
+
+    Parameters
+    ----------
+    A:
+        Assembled sparse matrix.
+    nsub:
+        Number of subdomains (contiguous dof chunks; one per virtual rank).
+    overlap:
+        Layers of algebraic overlap (the paper uses 4).
+    subsolve:
+        ``"lu"`` for exact factorization, ``"ilu0"`` for one ILU(0) apply.
+    restricted:
+        If True (default) use the restricted-ASM variant (sum only the
+        owned-part of each subdomain correction), which converges better
+        and is PETSc's default.
+    """
+
+    def __init__(
+        self,
+        A: sp.spmatrix,
+        nsub: int = 4,
+        overlap: int = 4,
+        subsolve: str = "lu",
+        restricted: bool = True,
+    ):
+        A = A.tocsr()
+        n = A.shape[0]
+        nsub = max(1, min(int(nsub), n))
+        bounds = np.linspace(0, n, nsub + 1).astype(int)
+        self.n = n
+        self._own: list[np.ndarray] = []
+        self._ext: list[np.ndarray] = []
+        self._solvers = []
+        self._restricted = restricted
+        for i in range(nsub):
+            own = np.arange(bounds[i], bounds[i + 1])
+            if own.size == 0:
+                continue
+            ext = _expand_overlap(A, own, overlap)
+            sub = A[np.ix_(ext, ext)].tocsc()
+            if subsolve == "lu":
+                lu = spla.splu(sub)
+                self._solvers.append(lu.solve)
+            elif subsolve == "ilu0":
+                self._solvers.append(ILU0(sub.tocsr()))
+            else:
+                raise ValueError(f"unknown subsolve {subsolve!r}")
+            self._own.append(own)
+            self._ext.append(ext)
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(r)
+        for own, ext, solve in zip(self._own, self._ext, self._solvers):
+            corr = solve(r[ext])
+            if self._restricted:
+                # keep only corrections on owned dofs
+                sel = (ext >= own[0]) & (ext <= own[-1])
+                out[ext[sel]] += corr[sel]
+            else:
+                out[ext] += corr
+        return out

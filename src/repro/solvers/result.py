@@ -1,0 +1,40 @@
+"""Solve result container shared by all Krylov and nonlinear drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative linear solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    converged:
+        Whether the tolerance was met within the iteration budget.
+    iterations:
+        Number of operator applications of the outer method.
+    residuals:
+        History of (unpreconditioned, when available) residual norms,
+        including the initial one.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residuals: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolveResult(converged={self.converged}, its={self.iterations}, "
+            f"r0={self.residuals[0]:.3e}, rN={self.final_residual:.3e})"
+        )

@@ -1,0 +1,36 @@
+"""Heterogeneous incompressible Stokes: the paper's core solve (SS III).
+
+Saddle-point system per (Picard/Newton) linearization step, Eq. 14:
+
+    [ J_uu  J_up ] [du]   [ F_u ]
+    [ J_pu   0   ] [dp] = [ F_p ]
+
+with the Q2-P1disc discretization from :mod:`repro.fem` and ``J_uu``
+applied by any of the Table I kernels.  Two solution strategies:
+
+* **fieldsplit** (default): iterate on the full space with the block
+  lower-triangular preconditioner of Eq. 17, using one multigrid V-cycle
+  for ``J_uu^{-1}`` and the inverse-viscosity-scaled pressure mass matrix
+  for the Schur complement;
+* **SCR**: Schur complement reduction with accurate inner solves --
+  slower but avoids the non-normality that slows fieldsplit at extreme
+  viscosity contrast (SS IV-A).
+"""
+
+from .operators import StokesOperator, StokesProblem, eta_at_quadrature, split_uy_p
+from .fieldsplit import FieldSplitPreconditioner, SchurMass
+from .scr import solve_scr
+from .solve import StokesConfig, solve_stokes, StokesSolution
+
+__all__ = [
+    "StokesOperator",
+    "StokesProblem",
+    "eta_at_quadrature",
+    "split_uy_p",
+    "FieldSplitPreconditioner",
+    "SchurMass",
+    "solve_scr",
+    "StokesConfig",
+    "solve_stokes",
+    "StokesSolution",
+]

@@ -1,0 +1,190 @@
+"""Coupled Stokes operator on the full velocity-pressure space.
+
+Dof layout: ``x = [u (3*nnodes, interleaved) ; p (4*nel, P1disc modes)]``.
+
+Dirichlet conditions are eliminated symmetrically and consistently across
+the blocks: constrained velocity rows are identity, the gradient block has
+zero rows there, and the divergence block has zero columns (boundary values
+enter through the right-hand side).  This keeps the constrained operator
+symmetric, which the Schur-complement theory of SS III-B relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..fem import assembly
+from ..fem.bc import DirichletBC
+from ..fem.quadrature import GaussQuadrature
+from ..matfree import make_operator
+
+
+def eta_at_quadrature(mesh, fn, quad: GaussQuadrature | None = None) -> np.ndarray:
+    """Evaluate a coefficient callable ``fn(x) -> value`` at quadrature points."""
+    quad = quad or GaussQuadrature.hex(3)
+    _, _, xq = mesh.geometry_at(quad)
+    return np.asarray(fn(xq), dtype=np.float64)
+
+
+def split_uy_p(mesh, r: np.ndarray) -> tuple[float, float, float]:
+    """Norms of (full velocity, vertical momentum, pressure) residual parts.
+
+    The Fig. 2 diagnostic: buoyancy-driven flows start with a large vertical
+    momentum residual, and the pressure residual must rise to meet it before
+    convergence sets in.
+    """
+    nu = 3 * mesh.nnodes
+    ru = r[:nu]
+    return (
+        float(np.linalg.norm(ru)),
+        float(np.linalg.norm(ru[2::3])),
+        float(np.linalg.norm(r[nu:])),
+    )
+
+
+@dataclass
+class StokesProblem:
+    """A linearized variable-viscosity Stokes problem.
+
+    Attributes
+    ----------
+    mesh:
+        Finest Q2 mesh.
+    eta_q:
+        Effective viscosity at quadrature points ``(nel, nq)``.
+    rho_q:
+        Density at quadrature points (body force ``f = rho g``).
+    gravity:
+        Gravity vector (the paper's sinker uses ``(0, 0, -9.8)`` with z up).
+    bc:
+        Velocity Dirichlet conditions on the fine mesh.  May be omitted if
+        ``bc_builder`` is given, in which case it is built lazily.
+    bc_builder:
+        ``mesh -> DirichletBC``, used to rebuild the same physical
+        conditions on every multigrid level.
+    """
+
+    mesh: object
+    eta_q: np.ndarray
+    rho_q: np.ndarray
+    gravity: tuple[float, float, float] = (0.0, 0.0, -9.8)
+    bc: DirichletBC | None = None
+    bc_builder: object = None
+    quad: GaussQuadrature = field(default_factory=lambda: GaussQuadrature.hex(3))
+
+    def __post_init__(self):
+        if self.bc is None and self.bc_builder is not None:
+            self.bc = self.bc_builder(self.mesh)
+
+    @property
+    def nu(self) -> int:
+        return 3 * self.mesh.nnodes
+
+    @property
+    def npress(self) -> int:
+        return 4 * self.mesh.nel
+
+    @property
+    def ndof(self) -> int:
+        return self.nu + self.npress
+
+
+class StokesOperator:
+    """Matrix-free coupled operator and right-hand side builder.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`StokesProblem` definition.
+    kind:
+        Which Table I kernel applies the viscous block.
+    velocity_operator:
+        Optionally, a prebuilt operator (e.g. the Newton linearization)
+        whose ``apply`` replaces the Picard viscous block in the matvec.
+    """
+
+    def __init__(self, problem: StokesProblem, kind: str = "tensor",
+                 velocity_operator=None, divergence: sp.spmatrix | None = None):
+        self.problem = problem
+        mesh, quad = problem.mesh, problem.quad
+        self.A_op = velocity_operator or make_operator(
+            kind, mesh, problem.eta_q, quad=quad
+        )
+        # geometry-only block; callers in nonlinear loops pass a cached one
+        self.B = (
+            divergence
+            if divergence is not None
+            else assembly.assemble_divergence(mesh, quad)
+        )  # (4*nel, 3*nn)
+        self.bc = problem.bc
+        self.nu = problem.nu
+        self.ndof = problem.ndof
+        if self.bc is not None:
+            mask = self.bc.mask
+            # zero divergence columns at constrained dofs (B acts on
+            # interior velocity only)
+            keep = sp.diags((~mask).astype(float))
+            self.B_int = (self.B @ keep).tocsr()
+            self._apply_A = self.bc.wrap_apply(self.A_op.apply)
+        else:
+            self.B_int = self.B
+            self._apply_A = self.A_op.apply
+
+    # ------------------------------------------------------------------ #
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Coupled matvec ``[A u + B^T p ; B u]`` with BC rows identity."""
+        u = x[: self.nu]
+        p = x[self.nu:]
+        yu = self._apply_A(u)
+        gp = self.B_int.T @ p
+        if self.bc is not None:
+            gp[self.bc.mask] = 0.0
+        yu = yu + gp
+        yp = self.B_int @ u
+        return np.concatenate([yu, yp])
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.apply(x)
+
+    # ------------------------------------------------------------------ #
+    def rhs(self) -> np.ndarray:
+        """Assembled right-hand side including boundary lifting."""
+        pb = self.problem
+        Fu = assembly.rhs_body_force(pb.mesh, pb.rho_q, np.asarray(pb.gravity), pb.quad)
+        Fp = np.zeros(pb.npress)
+        if self.bc is not None:
+            g = np.zeros(self.nu)
+            g[self.bc.dofs] = self.bc.values
+            Fu = Fu - self.A_op.apply(g)
+            Fu[self.bc.dofs] = self.bc.values
+            Fp = Fp - self.B @ g
+        return np.concatenate([Fu, Fp])
+
+    def residual(self, x: np.ndarray) -> np.ndarray:
+        """Linear residual ``rhs - J x``."""
+        return self.rhs() - self.apply(x)
+
+    def assemble(self) -> sp.csr_matrix:
+        """The full saddle-point matrix as one sparse CSR.
+
+        Intended for small problems only (direct-solve correctness anchors
+        and spectrum studies); production solves never form this matrix --
+        that is the point of the paper.  The result is consistent with
+        :meth:`apply` to rounding.
+        """
+        pb = self.problem
+        A = assembly.assemble_viscous(pb.mesh, pb.eta_q, pb.quad)
+        if self.bc is not None:
+            A_bc, _ = self.bc.eliminate(A, np.zeros(self.nu))
+            G = self.B_int.T.tocsr()
+            # zero gradient rows at constrained dofs
+            keep = sp.diags((~self.bc.mask).astype(float))
+            G = (keep @ G).tocsr()
+        else:
+            A_bc = A
+            G = self.B_int.T
+        Z = sp.csr_matrix((self.ndof - self.nu, self.ndof - self.nu))
+        return sp.bmat([[A_bc, G], [self.B_int, Z]], format="csr")

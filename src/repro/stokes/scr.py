@@ -1,0 +1,97 @@
+"""Schur complement reduction (SCR / Uzawa family, SS III-B, SS IV-A).
+
+Solves the saddle system by eliminating velocity:
+
+    1.  A w = b_u                      (accurate viscous solve)
+    2.  S dp = b_p - D w,  S = -D A^{-1} G   (Krylov on the Schur complement,
+        every apply containing an accurate viscous solve)
+    3.  A du = b_u - G dp
+
+Each Schur apply is expensive, but the preconditioned operator is
+symmetric (normal), so convergence does not degrade with coefficient
+contrast the way the lower-triangular fieldsplit does -- the trade the
+paper demonstrates in SS IV-A and our ablation A4 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..solvers.krylov import cg, gcr
+from .fieldsplit import SchurMass
+
+
+@dataclass
+class SCRStats:
+    outer_iterations: int = 0
+    inner_iterations: list[int] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def total_inner(self) -> int:
+        return int(sum(self.inner_iterations))
+
+
+def solve_scr(
+    stokes_op,
+    b: np.ndarray,
+    velocity_pc,
+    schur: SchurMass | None = None,
+    rtol: float = 1e-5,
+    inner_rtol: float = 1e-8,
+    maxiter: int = 200,
+    inner_maxiter: int = 400,
+    monitor=None,
+) -> tuple[np.ndarray, SCRStats]:
+    """Solve the coupled system by Schur complement reduction.
+
+    ``velocity_pc`` preconditions the inner viscous CG solves (typically
+    the same multigrid V-cycle the fieldsplit would use, now wrapped in an
+    accurate Krylov iteration).
+    """
+    pb = stokes_op.problem
+    nu = stokes_op.nu
+    bu, bp = b[:nu], b[nu:]
+    schur = schur or SchurMass(pb.mesh, pb.eta_q, pb.quad)
+    stats = SCRStats()
+
+    def solve_A(rhs: np.ndarray) -> np.ndarray:
+        res = cg(
+            stokes_op._apply_A, rhs, M=velocity_pc, rtol=inner_rtol,
+            maxiter=inner_maxiter,
+        )
+        stats.inner_iterations.append(res.iterations)
+        return res.x
+
+    w = solve_A(bu)
+    rhs_p = bp - stokes_op.B_int @ w
+
+    def minus_S(p: np.ndarray) -> np.ndarray:
+        """Apply ``-S = D A^{-1} G`` (symmetric positive semidefinite)."""
+        gp = stokes_op.B_int.T @ p
+        if stokes_op.bc is not None:
+            gp[stokes_op.bc.mask] = 0.0
+        z = solve_A(gp)
+        return stokes_op.B_int @ z
+
+    def M_schur(rp: np.ndarray) -> np.ndarray:
+        # preconditioner for -S is +M_p(1/eta)^{-1}
+        return -schur(rp)
+
+    res_p = gcr(
+        minus_S, -rhs_p, M=M_schur, rtol=rtol, maxiter=maxiter,
+        monitor=monitor,
+    )
+    dp = res_p.x
+    stats.outer_iterations = res_p.iterations
+    stats.converged = res_p.converged
+
+    gdp = stokes_op.B_int.T @ dp
+    if stokes_op.bc is not None:
+        gdp[stokes_op.bc.mask] = 0.0
+    du = solve_A(bu - gdp)
+    if stokes_op.bc is not None:
+        du[stokes_op.bc.dofs] = stokes_op.bc.values
+    return np.concatenate([du, dp]), stats

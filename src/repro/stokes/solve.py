@@ -1,0 +1,180 @@
+"""High-level driver for one linearized Stokes solve.
+
+Wires together the pieces exactly as SS IV-A configures them: an outer
+flexible Krylov method (GCR by default) on the full space, iterating to an
+*unpreconditioned* relative tolerance of 1e-5; the block lower-triangular
+fieldsplit preconditioner with one V(2,2) geometric multigrid cycle as the
+action of ``J_uu^{-1}``; and a smoothed-aggregation V-cycle as the coarse
+grid solver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mg.coefficients import coefficient_hierarchy
+from ..mg.gmg import GMGConfig, build_gmg
+from ..solvers.krylov import gcr, fgmres
+from .fieldsplit import FieldSplitPreconditioner, SchurMass
+from .operators import StokesOperator, StokesProblem
+from .scr import solve_scr
+
+
+@dataclass
+class StokesConfig:
+    """Configuration of the linear Stokes solve."""
+
+    operator: str = "tensor"  # Table I kernel for the fine viscous block
+    mg_levels: int = 3
+    smoother_degree: int = 2  # V(2,2)
+    coarse_solver: str = "sa"
+    coarse_nblocks: int = 1
+    galerkin: bool = True
+    outer: str = "gcr"  # 'gcr' | 'fgmres'
+    rtol: float = 1e-5
+    maxiter: int = 400
+    #: Krylov restart length; high-contrast problems stagnate before they
+    #: converge (Fig. 2), so the recurrence must outlive the plateau
+    restart: int = 100
+    scheme: str = "fieldsplit"  # 'fieldsplit' | 'scr'
+    scr_inner_rtol: float = 1e-8
+    project_pressure_nullspace: bool = False
+    mg_cycles: int = 1
+    gamma: int = 1  # multigrid cycle index (1 = V, 2 = W)
+
+    def gmg_config(self) -> GMGConfig:
+        return GMGConfig(
+            levels=self.mg_levels,
+            fine_operator=self.operator,
+            galerkin=self.galerkin,
+            smoother_degree=self.smoother_degree,
+            coarse_solver=self.coarse_solver,
+            coarse_nblocks=self.coarse_nblocks,
+            cycles=self.mg_cycles,
+            gamma=self.gamma,
+        )
+
+
+@dataclass
+class StokesSolution:
+    """Velocity/pressure fields plus solver diagnostics."""
+
+    u: np.ndarray
+    p: np.ndarray
+    iterations: int
+    converged: bool
+    residuals: list[float]
+    setup_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    mg_stats: object = None
+    extra: dict = field(default_factory=dict)
+
+
+def _pressure_null_vector(mesh) -> np.ndarray:
+    """The constant-pressure function in P1disc coefficients."""
+    v = np.zeros(4 * mesh.nel)
+    v[0::4] = 1.0
+    return v
+
+
+def solve_stokes(
+    problem: StokesProblem,
+    config: StokesConfig | None = None,
+    eta_levels: list | None = None,
+    velocity_operator=None,
+    monitor=None,
+    rhs: np.ndarray | None = None,
+    x0: np.ndarray | None = None,
+    divergence=None,
+) -> StokesSolution:
+    """Solve one (Picard-)linearized Stokes problem.
+
+    Parameters
+    ----------
+    eta_levels:
+        Optional viscosity per multigrid level (finest first); derived by
+        nodal restriction of ``problem.eta_q`` when omitted.
+    velocity_operator:
+        Optional operator (e.g. Newton linearization) used in the coupled
+        matvec while the preconditioner keeps the Picard operator
+        (SS III-A).
+    rhs / x0:
+        Override the body-force right-hand side / initial guess (the
+        nonlinear drivers pass residuals through here).
+    """
+    cfg = config or StokesConfig()
+    mesh = problem.mesh
+    if problem.bc_builder is None:
+        raise ValueError("solve_stokes needs problem.bc_builder for the MG levels")
+
+    t0 = time.perf_counter()
+    op = StokesOperator(
+        problem, kind=cfg.operator, velocity_operator=velocity_operator,
+        divergence=divergence,
+    )
+    meshes = mesh.hierarchy(cfg.mg_levels)[::-1]
+    if eta_levels is None:
+        eta_levels = coefficient_hierarchy(meshes, problem.eta_q, problem.quad)
+    mg, mg_stats = build_gmg(meshes, eta_levels, problem.bc_builder, cfg.gmg_config())
+    pc = FieldSplitPreconditioner(op, mg)
+    setup_s = time.perf_counter() - t0
+
+    b = op.rhs() if rhs is None else rhs
+    nullvec = None
+    if cfg.project_pressure_nullspace:
+        nullvec = _pressure_null_vector(mesh)
+        nn2 = nullvec @ nullvec
+
+    nu = op.nu
+
+    def project(x):
+        if nullvec is not None:
+            x[nu:] -= ((x[nu:] @ nullvec) / nn2) * nullvec
+        return x
+
+    t0 = time.perf_counter()
+    if cfg.scheme == "scr":
+        x, scr_stats = solve_scr(
+            op, b, velocity_pc=mg, rtol=cfg.rtol,
+            inner_rtol=cfg.scr_inner_rtol, maxiter=cfg.maxiter,
+            monitor=monitor,
+        )
+        x = project(x)
+        solve_s = time.perf_counter() - t0
+        return StokesSolution(
+            u=x[:nu], p=x[nu:], iterations=scr_stats.outer_iterations,
+            converged=scr_stats.converged, residuals=[],
+            setup_seconds=setup_s, solve_seconds=solve_s, mg_stats=mg_stats,
+            extra={"scr": scr_stats},
+        )
+
+    if cfg.scheme != "fieldsplit":
+        raise ValueError(f"unknown scheme {cfg.scheme!r}")
+
+    method = {"gcr": gcr, "fgmres": fgmres}[cfg.outer]
+
+    apply_op = op.apply
+    pc_apply = pc
+    if nullvec is not None:
+        b = project(b.copy())
+
+        def apply_op(x, _op=op):
+            return project(_op.apply(x))
+
+        def pc_apply(r, _pc=pc):
+            return project(_pc(r))
+
+    res = method(
+        apply_op, b, x0=x0, M=pc_apply, rtol=cfg.rtol, maxiter=cfg.maxiter,
+        restart=cfg.restart, monitor=monitor,
+    )
+    x = project(res.x)
+    solve_s = time.perf_counter() - t0
+    return StokesSolution(
+        u=x[:nu], p=x[nu:], iterations=res.iterations, converged=res.converged,
+        residuals=res.residuals, setup_seconds=setup_s, solve_seconds=solve_s,
+        mg_stats=mg_stats, extra={"operator": op, "preconditioner": pc},
+    )

@@ -1,0 +1,15 @@
+"""Analytic verification solutions for the Stokes discretization."""
+
+from .analytic import (
+    couette_velocity,
+    poiseuille_velocity,
+    poiseuille_body_force,
+    stokes_sphere_velocity,
+)
+
+__all__ = [
+    "couette_velocity",
+    "poiseuille_velocity",
+    "poiseuille_body_force",
+    "stokes_sphere_velocity",
+]

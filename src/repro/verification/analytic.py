@@ -1,0 +1,64 @@
+"""Closed-form Stokes solutions used as machine-precision solver anchors.
+
+Couette (lid-driven shear) and plane Poiseuille (body-force-driven channel)
+profiles are linear/quadratic in the coordinates, hence *exactly*
+representable by the Q2 velocity space: the discrete solver must reproduce
+them to solver tolerance, independent of resolution.  The Stokes-sphere
+terminal velocity gives an order-of-magnitude physical check for sinker
+runs (wall effects in a closed box slow the sphere relative to the
+unbounded formula, so it bounds rather than matches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def couette_velocity(coords: np.ndarray, v_lid: float = 1.0,
+                     height: float = 1.0) -> np.ndarray:
+    """Plane Couette flow: ``u_x = v_lid * z / H``, driven by a moving lid.
+
+    Exact for any viscosity (constant shear stress); returns ``(..., 3)``.
+    """
+    z = np.asarray(coords)[..., 2]
+    u = np.zeros(np.shape(coords))
+    u[..., 0] = v_lid * z / height
+    return u
+
+
+def poiseuille_velocity(coords: np.ndarray, f: float = 1.0, eta: float = 1.0,
+                        height: float = 1.0) -> np.ndarray:
+    """Plane Poiseuille flow between no-slip plates at z = 0 and z = H.
+
+    Driven by a uniform body force ``f`` in x:
+    ``u_x = f / (2 eta) * z (H - z)`` -- quadratic, exactly in the Q2 space.
+    """
+    z = np.asarray(coords)[..., 2]
+    u = np.zeros(np.shape(coords))
+    u[..., 0] = f / (2.0 * eta) * z * (height - z)
+    return u
+
+
+def poiseuille_body_force(f: float = 1.0) -> tuple[float, float, float]:
+    """The body-force vector that drives :func:`poiseuille_velocity`."""
+    return (f, 0.0, 0.0)
+
+
+def stokes_sphere_velocity(delta_rho: float, g: float, radius: float,
+                           eta_ambient: float, eta_sphere: float = np.inf) -> float:
+    """Hadamard-Rybczynski terminal velocity of a viscous sphere.
+
+    ``v = (2/9) (delta_rho g R^2 / eta) * (eta + 3/2 eta_s) / (eta + eta_s)``
+    reducing to the rigid-sphere Stokes drag for ``eta_s -> inf`` and to
+    ``3/2`` of it for an inviscid bubble.  Unbounded-domain result: in a
+    closed box of size ~10 R, wall drag reduces the speed by tens of
+    percent, so simulations should come out *below* this value but within
+    a small factor.
+    """
+    if np.isinf(eta_sphere):
+        return 2.0 / 9.0 * delta_rho * g * radius**2 / eta_ambient
+    return (
+        2.0 / 3.0 * delta_rho * g * radius**2 / eta_ambient
+        * (eta_ambient + eta_sphere)
+        / (2.0 * eta_ambient + 3.0 * eta_sphere)
+    )

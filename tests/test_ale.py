@@ -1,0 +1,97 @@
+"""ALE free surface: kinematic update, vertical remeshing, quality."""
+
+import numpy as np
+import pytest
+
+from repro.ale import (
+    mesh_quality,
+    remesh_vertical,
+    surface_topography,
+    update_free_surface,
+)
+from repro.fem import StructuredMesh
+
+
+class TestSurfaceUpdate:
+    def test_uniform_uplift(self):
+        mesh = StructuredMesh((4, 4, 2), order=2)
+        u = np.zeros(3 * mesh.nnodes)
+        u[2::3] = 0.1  # everything moves up
+        h = update_free_surface(mesh, u, dt=0.5)
+        assert np.allclose(h, 1.05)
+        # only the top plane moved so far
+        assert mesh.coords[:, 2].max() == pytest.approx(1.05)
+
+    def test_horizontal_advection_term(self):
+        """A sloped surface moving horizontally changes height by
+        -u_x dh/dx even with zero vertical velocity."""
+        mesh = StructuredMesh((8, 2, 2), order=2)
+        coords = mesh.coords.copy()
+        nnx, nny, nnz = mesh.nodes_per_dim
+        C = coords.reshape(nnz, nny, nnx, 3)
+        C[-1, :, :, 2] += 0.1 * C[-1, :, :, 0]  # h(x) = 1 + 0.1 x
+        mesh.set_coords(C.reshape(-1, 3))
+        u = np.zeros(3 * mesh.nnodes)
+        u[0::3] = 1.0
+        h0 = surface_topography(mesh)
+        h1 = update_free_surface(mesh, u, dt=0.1)
+        # dh/dt = -u_x * 0.1 = -0.1 -> dh = -0.01
+        assert np.allclose(h1 - h0, -0.01, atol=1e-3)
+
+    def test_topography_accessor(self):
+        mesh = StructuredMesh((2, 3, 2), order=2, extent=(1, 1, 2))
+        h = surface_topography(mesh)
+        nnx, nny, _ = mesh.nodes_per_dim
+        assert h.shape == (nny, nnx)
+        assert np.allclose(h, 2.0)
+
+
+class TestRemesh:
+    def test_uniform_column_spacing(self):
+        mesh = StructuredMesh((2, 2, 4), order=2)
+        u = np.zeros(3 * mesh.nnodes)
+        nnx, nny, nnz = mesh.nodes_per_dim
+        u[2::3] = 0.2 * mesh.coords[:, 0]  # tilted uplift
+        update_free_surface(mesh, u, dt=1.0)
+        remesh_vertical(mesh)
+        C = mesh.coords.reshape(nnz, nny, nnx, 3)
+        dz = np.diff(C[:, :, :, 2], axis=0)
+        # equal spacing within each column
+        assert np.allclose(dz, dz[0][None], atol=1e-12)
+
+    def test_bottom_fixed(self):
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        u = np.zeros(3 * mesh.nnodes)
+        u[2::3] = -0.1
+        update_free_surface(mesh, u, dt=1.0)
+        remesh_vertical(mesh)
+        assert mesh.coords[:, 2].min() == pytest.approx(0.0)
+
+    def test_quality_after_large_subsidence(self):
+        mesh = StructuredMesh((4, 4, 4), order=2)
+        u = np.zeros(3 * mesh.nnodes)
+        x = mesh.coords[:, 0]
+        u[2::3] = -0.3 * np.exp(-8 * (x - 0.5) ** 2)
+        update_free_surface(mesh, u, dt=1.0)
+        remesh_vertical(mesh)
+        q = mesh_quality(mesh)
+        assert not q["inverted"]
+        assert q["min_detJ"] > 0
+
+
+class TestQuality:
+    def test_regular_mesh_uniform_detj(self):
+        mesh = StructuredMesh((2, 2, 2), order=2, extent=(2, 2, 2))
+        q = mesh_quality(mesh)
+        assert q["min_detJ"] == pytest.approx(q["max_detJ"])
+        assert not q["inverted"]
+
+    def test_detects_inversion(self):
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        coords = mesh.coords.copy()
+        # collapse the top plane below the one underneath
+        nnx, nny, nnz = mesh.nodes_per_dim
+        C = coords.reshape(nnz, nny, nnx, 3)
+        C[-1, :, :, 2] = 0.1
+        mesh.set_coords(C.reshape(-1, 3))
+        assert mesh_quality(mesh)["inverted"]

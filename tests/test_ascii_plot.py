@@ -1,0 +1,52 @@
+"""ASCII chart rendering used by the figure benches."""
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import bars_ascii, semilogy_ascii
+
+
+class TestSemilogy:
+    def test_renders_all_series_markers(self):
+        out = semilogy_ascii({"a": [1.0, 0.1, 0.01], "b": [2.0, 1.0, 0.5]},
+                             width=30, height=8)
+        assert "*" in out and "o" in out
+        assert "a" in out and "b" in out
+
+    def test_skips_nonpositive_and_nan(self):
+        out = semilogy_ascii({"a": [1.0, 0.0, -1.0, float("nan"), 0.5]},
+                             width=20, height=6)
+        assert "*" in out
+
+    def test_empty_data(self):
+        assert "no positive data" in semilogy_ascii({"a": [0.0, -1.0]})
+
+    def test_decreasing_series_slopes_down(self):
+        """The first marker appears above the last one for a decaying series."""
+        ys = list(np.exp(-np.arange(20)))
+        out = semilogy_ascii({"r": ys}, width=20, height=10)
+        # canvas rows only (skip the axis and legend lines)
+        lines = [l for l in out.splitlines() if "|" in l and "*" in l]
+        # the top-most marked row holds the first (largest) value: its
+        # marker column is the left-most across the canvas
+        assert lines[0].index("*") <= min(l.index("*") for l in lines)
+
+    def test_constant_series_handled(self):
+        out = semilogy_ascii({"c": [5.0, 5.0, 5.0]})
+        assert "*" in out
+
+
+class TestBars:
+    def test_scales_to_max(self):
+        out = bars_ascii([1.0, 2.0, 4.0], width=40)
+        lines = out.splitlines()
+        assert lines[2].count("#") == 40
+        assert lines[0].count("#") == 10
+
+    def test_labels(self):
+        out = bars_ascii([3.0], labels=["step7"])
+        assert "step7" in out
+
+    def test_all_zero(self):
+        out = bars_ascii([0.0, 0.0])
+        assert "#" not in out

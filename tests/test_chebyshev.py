@@ -1,0 +1,103 @@
+"""Chebyshev smoothing and eigenvalue estimation (paper SS III-C)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solvers import ChebyshevSmoother, estimate_lambda_max
+
+
+def laplace_1d(n):
+    A = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n)).tocsr()
+    return A
+
+
+class TestLambdaMax:
+    def test_diagonal_matrix_exact(self):
+        d = np.array([1.0, 2.0, 5.0, 10.0])
+        A = sp.diags(d).tocsr()
+        lmax = estimate_lambda_max(lambda v: A @ v, np.ones(4))
+        assert lmax == pytest.approx(10.0, rel=1e-6)
+
+    def test_jacobi_scaled_spectrum(self):
+        """lambda_max of D^{-1} A for the 1D Laplacian is 2 - O(h^2)."""
+        A = laplace_1d(50)
+        lmax = estimate_lambda_max(lambda v: A @ v, 1.0 / A.diagonal(), iters=20)
+        assert 1.8 < lmax <= 2.0001
+
+    def test_estimate_within_safety_interval(self):
+        """A 10-iteration estimate lands within the paper's [.., 1.1 lmax]
+        safety margin of the true value."""
+        rng = np.random.default_rng(0)
+        Q = rng.standard_normal((80, 80))
+        A = sp.csr_matrix(Q @ Q.T + 10 * np.eye(80))
+        dinv = 1.0 / A.diagonal()
+        true = np.max(np.linalg.eigvalsh(
+            np.diag(np.sqrt(dinv)) @ A.toarray() @ np.diag(np.sqrt(dinv))
+        ))
+        est = estimate_lambda_max(lambda v: A @ v, dinv)
+        assert 0.8 * true < est < 1.1 * true
+
+
+class TestSmoother:
+    def test_error_reduction_on_high_frequencies(self):
+        """Chebyshev targeting [0.2, 1.1] lmax damps the upper spectrum
+        strongly while barely touching the smooth end -- the smoothing
+        property multigrid needs."""
+        n = 64
+        A = laplace_1d(n)
+        cheb = ChebyshevSmoother(lambda v: A @ v, A.diagonal(), degree=2)
+        k_high, k_low = n - 1, 1
+        modes = {}
+        for k in (k_low, k_high):
+            v = np.sin(np.pi * k * np.arange(1, n + 1) / (n + 1))
+            v /= np.linalg.norm(v)
+            # error-propagation operator applied to the mode: with exact
+            # solution v of A x = A v, the post-smoothing error is v - x1
+            e = v - cheb.smooth(A @ v, np.zeros(n))
+            modes[k] = np.linalg.norm(e)
+        assert modes[k_high] < 0.25
+        assert modes[k_high] < modes[k_low]
+
+    def test_exact_on_matching_interval_degree_grows(self):
+        A = laplace_1d(32)
+        r = np.random.default_rng(1).standard_normal(32)
+        norms = []
+        for degree in (1, 3, 6):
+            cheb = ChebyshevSmoother(lambda v: A @ v, A.diagonal(), degree=degree)
+            x = cheb.smooth(r, None)
+            norms.append(np.linalg.norm(r - A @ x))
+        assert norms[2] < norms[1] < norms[0]
+
+    def test_preconditioner_interface(self):
+        A = laplace_1d(32)
+        cheb = ChebyshevSmoother(lambda v: A @ v, A.diagonal(), degree=3)
+        r = np.ones(32)
+        assert np.allclose(cheb(r), cheb.smooth(r, None))
+
+    def test_nonzero_initial_guess(self):
+        A = laplace_1d(32)
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal(32)
+        x0 = rng.standard_normal(32)
+        cheb = ChebyshevSmoother(lambda v: A @ v, A.diagonal(), degree=4)
+        x1 = cheb.smooth(b, x0)
+        assert np.linalg.norm(b - A @ x1) < np.linalg.norm(b - A @ x0)
+
+    def test_interval_validation(self):
+        A = laplace_1d(8)
+        with pytest.raises(ValueError):
+            ChebyshevSmoother(lambda v: A @ v, A.diagonal(), interval=(2.0, 1.0))
+
+    def test_zero_diagonal_rejected(self):
+        A = laplace_1d(8)
+        d = A.diagonal()
+        d[3] = 0.0
+        with pytest.raises(ValueError):
+            ChebyshevSmoother(lambda v: A @ v, d)
+
+    def test_paper_interval_factors(self):
+        """Default interval is [0.2, 1.1] x lambda_max estimate."""
+        A = laplace_1d(32)
+        cheb = ChebyshevSmoother(lambda v: A @ v, A.diagonal(), degree=2)
+        assert cheb.lmax / cheb.lmin == pytest.approx(1.1 / 0.2, rel=1e-12)

@@ -1,0 +1,187 @@
+"""Edge cases and secondary paths across the package."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem import GaussQuadrature, StructuredMesh
+from repro.fem.geometry import invert_3x3, map_to_physical
+from repro.mg.coefficients import (
+    corner_nodal_to_quadrature,
+    quadrature_to_corner_nodal,
+)
+
+QUAD = GaussQuadrature.hex(3)
+
+
+class TestGeometryHelpers:
+    def test_map_to_physical_centers(self):
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        N = mesh.basis.eval(np.zeros((1, 3)))
+        centers = map_to_physical(mesh.element_coords(), N)[:, 0, :]
+        expected, _ = mesh.element_centroids_and_extents()
+        assert np.allclose(centers, expected)
+
+    def test_invert_3x3_identity(self):
+        I = np.eye(3)[None]
+        Inv, det = invert_3x3(I)
+        assert np.allclose(Inv, I)
+        assert det[0] == pytest.approx(1.0)
+
+    def test_invert_3x3_scaling(self):
+        A = np.diag([2.0, 4.0, 0.5])[None]
+        Inv, det = invert_3x3(A)
+        assert det[0] == pytest.approx(4.0)
+        assert np.allclose(Inv[0], np.diag([0.5, 0.25, 2.0]))
+
+
+class TestCoefficientRoundtrips:
+    def test_linear_field_first_order(self):
+        """The Eq.-12 reconstruction is a Shepard-type weighted average:
+        exact on constants, first-order (error bounded by |grad f| h) on
+        linears -- halving h halves the nodal error."""
+        errs = []
+        for n in (3, 6):
+            mesh = StructuredMesh((n, n, n), order=2)
+            _, _, xq = mesh.geometry_at(QUAD)
+            f_q = 1.0 + 2.0 * xq[..., 0] - xq[..., 2]
+            nodal = quadrature_to_corner_nodal(mesh, f_q, QUAD)
+            lattice = mesh.corner_node_lattice()
+            exact = (1.0 + 2.0 * mesh.coords[lattice, 0]
+                     - mesh.coords[lattice, 2])
+            errs.append(np.abs(nodal - exact).max())
+            # error bounded by |grad f|_1 * h
+            assert errs[-1] <= 3.0 * (1.0 / n)
+        assert errs[1] < 0.6 * errs[0]
+
+    def test_constant_field_exact(self):
+        mesh = StructuredMesh((3, 3, 3), order=2)
+        f_q = np.full((mesh.nel, QUAD.npoints), 4.2)
+        nodal = quadrature_to_corner_nodal(mesh, f_q, QUAD)
+        assert np.allclose(nodal, 4.2)
+        back = corner_nodal_to_quadrature(mesh, nodal, QUAD)
+        assert np.allclose(back, 4.2)
+
+
+class TestSolveResultRepr:
+    def test_repr_contains_stats(self):
+        from repro.solvers import SolveResult
+
+        r = SolveResult(np.zeros(3), True, 5, [1.0, 0.1])
+        s = repr(r)
+        assert "its=5" in s and "converged=True" in s
+
+    def test_empty_residuals(self):
+        from repro.solvers import SolveResult
+
+        r = SolveResult(np.zeros(3), False, 0, [])
+        assert np.isnan(r.final_residual)
+
+
+class TestILUBreakdown:
+    def test_zero_pivot_raises(self):
+        A = sp.csr_matrix(np.array([
+            [0.0, 1.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [0.0, 1.0, 1.0],
+        ]))
+        from repro.solvers import ILU0
+
+        # structurally nonzero diagonal but the (0,0) pivot is zero
+        A = A.tolil()
+        A[0, 0] = 0.0
+        with pytest.raises((ZeroDivisionError, ValueError)):
+            ILU0(A.tocsr())
+
+
+class TestNullspaceProjection:
+    def test_enclosed_box_gets_zero_mean_pressure(self):
+        """With Dirichlet on all faces the pressure is defined up to a
+        constant; the projection pins the constant mode to zero mean."""
+        from repro.stokes import StokesConfig, StokesProblem, solve_stokes
+        from tests.conftest import no_slip_bc
+
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        shape = (mesh.nel, QUAD.npoints)
+        rho = np.ones(shape)
+        rho[:4] = 1.5  # some buoyancy contrast
+        pb = StokesProblem(mesh, np.ones(shape), rho, bc_builder=no_slip_bc)
+        sol = solve_stokes(pb, StokesConfig(
+            mg_levels=1, coarse_solver="lu", rtol=1e-8,
+            project_pressure_nullspace=True,
+        ))
+        assert sol.converged
+        assert abs(sol.p[0::4].sum()) < 1e-8
+
+
+class TestKrylovBreakdownPaths:
+    def test_cg_bails_on_indefinite(self):
+        A = sp.diags([1.0, -1.0, 2.0]).tocsr()
+        from repro.solvers import cg
+
+        res = cg(lambda v: A @ v, np.array([1.0, 1.0, 1.0]), rtol=1e-12,
+                 maxiter=10)
+        assert not res.converged  # detected non-SPD, no crash
+
+    def test_bicgstab_on_identity(self):
+        from repro.solvers import bicgstab
+
+        b = np.array([1.0, 2.0])
+        res = bicgstab(lambda v: v, b, rtol=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, b)
+
+
+class TestMeshIndexing:
+    def test_element_index_roundtrip(self):
+        mesh = StructuredMesh((3, 4, 5), order=2)
+        M, N, P = mesh.shape
+        for e in (0, 7, mesh.nel - 1):
+            ex, ey, ez = e % M, (e // M) % N, e // (M * N)
+            assert mesh.element_index(ex, ey, ez) == e
+
+    def test_deform_callable(self):
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        v0 = mesh.coords_version
+        mesh.deform(lambda c: 2.0 * c)
+        assert mesh.coords_version == v0 + 1
+        assert mesh.coords.max() == pytest.approx(2.0)
+
+
+class TestMigrationEdgeCases:
+    def test_empty_rank_is_fine(self):
+        from repro.mpm import MaterialPoints, migrate_points
+        from repro.parallel import BlockDecomposition, VirtualComm
+
+        mesh = StructuredMesh((4, 2, 2), order=2)
+        d = BlockDecomposition(mesh, (2, 1, 1))
+        comm = VirtualComm(d.nranks)
+        # rank 1 has no points at all
+        pts0 = MaterialPoints(np.array([[0.1, 0.5, 0.5]]))
+        pts0.el = np.array([0])
+        empty = MaterialPoints(np.zeros((0, 3)))
+        out, deleted = migrate_points(d, comm, [pts0, empty])
+        assert deleted == 0
+        assert out[0].n == 1 and out[1].n == 0
+
+
+class TestNonlinearRiftingMultilevel:
+    def test_production_config_steps(self):
+        """The paper's production wiring -- matrix-free tensor fine level,
+        multi-level GMG inside the fieldsplit, Newton with line search --
+        drives a rifting step end-to-end."""
+        from repro.sim import make_rifting
+        from repro.sim.rifting import RiftingConfig
+        from repro.sim.timeloop import SimulationConfig
+        from repro.stokes import StokesConfig
+
+        cfg = RiftingConfig(shape=(8, 4, 2), mg_levels=2)
+        sim = make_rifting(cfg, SimulationConfig(
+            stokes=StokesConfig(mg_levels=2, coarse_solver="lu",
+                                smoother_degree=3, rtol=1e-4, maxiter=300),
+            newton_rtol=1e-2, max_newton=5, free_surface=True,
+            thermal_kappa=0.01,
+        ))
+        s = sim.step()
+        assert s["krylov_iterations"] > 0
+        assert np.isfinite(sim.u).all()

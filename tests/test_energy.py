@@ -1,0 +1,132 @@
+"""SUPG energy equation (Eq. 20): diffusion, advection, stabilization."""
+
+import numpy as np
+import pytest
+
+from repro.energy import EnergySolver, q1_companion_mesh, supg_tau
+from repro.fem import StructuredMesh
+from repro.fem.bc import DirichletBC, boundary_nodes
+
+
+def q1_box(shape=(8, 2, 2), extent=(1.0, 0.25, 0.25)):
+    return StructuredMesh(shape, order=1, extent=extent)
+
+
+class TestTau:
+    def test_zero_velocity_limit(self):
+        """As Pe -> 0 the classic formula tends to h^2 / (12 kappa)."""
+        h, kappa = 0.1, 1.0
+        tau = supg_tau(np.array([1e-12]), np.array([h]), kappa=kappa)
+        assert tau[0] == pytest.approx(h**2 / (12 * kappa), rel=1e-6)
+
+    def test_advection_dominated_limit(self):
+        """As Pe -> inf, tau -> h / (2|u|)."""
+        tau = supg_tau(np.array([10.0]), np.array([0.1]), kappa=1e-8)
+        assert tau[0] == pytest.approx(0.1 / 20.0, rel=1e-3)
+
+    def test_monotone_in_peclet(self):
+        u = np.linspace(0.01, 10.0, 20)
+        tau = supg_tau(u, np.full(20, 0.1), kappa=0.05)
+        assert np.all(np.diff(tau * u) >= -1e-12)  # xi increases with Pe
+
+
+class TestCompanionMesh:
+    def test_matches_corner_lattice(self):
+        q2 = StructuredMesh((3, 2, 2), order=2, extent=(1, 2, 1))
+        q2.deform(lambda c: c + 0.02 * np.sin(c))
+        q1 = q1_companion_mesh(q2)
+        assert q1.shape == q2.shape
+        assert np.allclose(q1.coords, q2.coords[q2.corner_node_lattice()])
+
+    def test_velocity_restriction_consistent(self):
+        """A Q2 velocity that is trilinear restricts exactly."""
+        q2 = StructuredMesh((2, 2, 2), order=2)
+        q1 = q1_companion_mesh(q2)
+        solver = EnergySolver(q1, kappa=1.0)
+        u = np.zeros(3 * q2.nnodes)
+        u[0::3] = 1.0 + 2.0 * q2.coords[:, 1]
+        u_q = solver.velocity_at_quadrature(q2, u)
+        _, _, xq = q1.geometry_at(solver.quad)
+        assert np.allclose(u_q[..., 0], 1.0 + 2.0 * xq[..., 1], atol=1e-12)
+
+
+class TestDiffusion:
+    def test_steady_linear_profile(self):
+        """Pure diffusion with fixed end temperatures relaxes to the linear
+        conduction profile."""
+        mesh = q1_box((6, 2, 2), extent=(1.0, 0.3, 0.3))
+        bc = DirichletBC(mesh.nnodes)
+        bc.add(boundary_nodes(mesh, "xmin"), 1.0)
+        bc.add(boundary_nodes(mesh, "xmax"), 0.0)
+        bc.finalize()
+        solver = EnergySolver(mesh, kappa=1.0, bc=bc)
+        T = np.zeros(mesh.nnodes)
+        T[bc.dofs] = bc.values
+        u_q = np.zeros((mesh.nel, solver.quad.npoints, 3))
+        for _ in range(60):
+            T = solver.step(T, u_q, dt=0.05)
+        assert np.abs(T - (1.0 - mesh.coords[:, 0])).max() < 1e-3
+
+    def test_sine_mode_decay_rate(self):
+        """du/dt = kappa u_xx: the k=1 sine mode decays as exp(-kappa pi^2 t)."""
+        mesh = q1_box((16, 1, 1), extent=(1.0, 0.1, 0.1))
+        bc = DirichletBC(mesh.nnodes)
+        bc.add(boundary_nodes(mesh, "xmin"), 0.0)
+        bc.add(boundary_nodes(mesh, "xmax"), 0.0)
+        bc.finalize()
+        kappa = 0.3
+        solver = EnergySolver(mesh, kappa=kappa, bc=bc)
+        T = np.sin(np.pi * mesh.coords[:, 0])
+        u_q = np.zeros((mesh.nel, solver.quad.npoints, 3))
+        dt, nsteps = 0.005, 20
+        for _ in range(nsteps):
+            T = solver.step(T, u_q, dt=dt)
+        decay = T.max()
+        expected = np.exp(-kappa * np.pi**2 * dt * nsteps)
+        # implicit Euler over-damps slightly; accept 10%
+        assert decay == pytest.approx(expected, rel=0.1)
+
+
+class TestAdvection:
+    def test_translates_profile(self):
+        """Advection-dominated transport moves a front downstream at speed u."""
+        mesh = q1_box((24, 1, 1), extent=(1.0, 0.05, 0.05))
+        bc = DirichletBC(mesh.nnodes)
+        bc.add(boundary_nodes(mesh, "xmin"), 1.0)
+        bc.finalize()
+        solver = EnergySolver(mesh, kappa=1e-6, bc=bc)
+        T = np.zeros(mesh.nnodes)
+        T[bc.dofs] = 1.0
+        u_q = np.zeros((mesh.nel, solver.quad.npoints, 3))
+        u_q[..., 0] = 1.0
+        t_total = 0.4
+        for _ in range(20):
+            T = solver.step(T, u_q, dt=t_total / 20)
+        x = mesh.coords[:, 0]
+        # front should sit near x = 0.4: hot behind, cold ahead
+        assert T[x < 0.15].mean() > 0.9
+        assert T[x > 0.75].mean() < 0.2
+
+    def test_supg_suppresses_oscillations(self):
+        """At high Peclet the SUPG solution stays (essentially) within the
+        physical bounds [0, 1] -- unstabilized Galerkin would overshoot."""
+        mesh = q1_box((16, 1, 1), extent=(1.0, 0.06, 0.06))
+        bc = DirichletBC(mesh.nnodes)
+        bc.add(boundary_nodes(mesh, "xmin"), 1.0)
+        bc.add(boundary_nodes(mesh, "xmax"), 0.0)
+        bc.finalize()
+        solver = EnergySolver(mesh, kappa=1e-5, bc=bc)
+        T = np.zeros(mesh.nnodes)
+        T[bc.dofs] = bc.values
+        u_q = np.zeros((mesh.nel, solver.quad.npoints, 3))
+        u_q[..., 0] = 1.0
+        for _ in range(30):
+            T = solver.step(T, u_q, dt=0.05)
+        assert T.min() > -0.05
+        assert T.max() < 1.05
+
+
+class TestValidation:
+    def test_rejects_q2_mesh(self):
+        with pytest.raises(ValueError):
+            EnergySolver(StructuredMesh((2, 2, 2), order=2), kappa=1.0)

@@ -1,0 +1,172 @@
+"""Geometric multigrid: convergence, h-independence, configurations."""
+
+import numpy as np
+import pytest
+
+from repro.fem import StructuredMesh, GaussQuadrature
+from repro.matfree import make_operator
+from repro.mg import build_gmg, GMGConfig
+from repro.mg.coefficients import coefficient_hierarchy
+from repro.solvers import cg
+
+from tests.conftest import no_slip_bc
+
+QUAD = GaussQuadrature.hex(3)
+
+
+def smooth_eta(x):
+    return np.exp(
+        2 * np.exp(-8 * ((x[..., 0] - 0.5) ** 2 + (x[..., 1] - 0.5) ** 2
+                         + (x[..., 2] - 0.5) ** 2))
+    )
+
+
+def solve_with_gmg(shape, levels=2, config=None, rtol=1e-8):
+    mesh = StructuredMesh(shape, order=2)
+    meshes = mesh.hierarchy(levels)[::-1]
+    etas = []
+    for m in meshes:
+        _, _, xq = m.geometry_at(QUAD)
+        etas.append(smooth_eta(xq))
+    config = config or GMGConfig(levels=levels, coarse_solver="lu")
+    mg, stats = build_gmg(meshes, etas, no_slip_bc, config)
+    bc = no_slip_bc(mesh)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(3 * mesh.nnodes)
+    b[bc.mask] = 0.0
+    op = make_operator(config.fine_operator, mesh, etas[0], quad=QUAD)
+    A = bc.wrap_apply(op.apply)
+    res = cg(A, b, M=mg, rtol=rtol, maxiter=100)
+    return res, stats
+
+
+class TestConvergence:
+    def test_solves_variable_coefficient_elasticity(self):
+        res, _ = solve_with_gmg((4, 4, 4))
+        assert res.converged
+        assert res.iterations < 30
+
+    def test_h_independent_iterations(self):
+        """Iteration counts must not grow (much) under refinement -- the
+        multigrid property the whole paper rests on."""
+        its = []
+        for shape in ((4, 4, 4), (8, 8, 8)):
+            res, _ = solve_with_gmg(shape, levels=2)
+            assert res.converged
+            its.append(res.iterations)
+        assert its[1] <= its[0] + 3
+
+    def test_three_levels(self):
+        res, stats = solve_with_gmg((8, 8, 8), levels=3)
+        assert res.converged
+        assert len(stats.level_ndofs) == 3
+
+    def test_single_level_fallback(self):
+        res, _ = solve_with_gmg(
+            (2, 2, 2), levels=1, config=GMGConfig(levels=1, coarse_solver="lu")
+        )
+        assert res.converged and res.iterations <= 3
+
+
+class TestOperatorChoices:
+    @pytest.mark.parametrize("kind", ["asmb", "mf", "tensor", "tensor_c"])
+    def test_all_fine_operators_give_same_iterations(self, kind):
+        # galerkin=False so all four kinds build the *same* hierarchy
+        # (an assembled fine level would otherwise enable Galerkin RAP)
+        res, _ = solve_with_gmg(
+            (4, 4, 4), config=GMGConfig(levels=2, coarse_solver="lu",
+                                        fine_operator=kind, galerkin=False)
+        )
+        assert res.converged
+        ref, _ = solve_with_gmg(
+            (4, 4, 4), config=GMGConfig(levels=2, coarse_solver="lu",
+                                        galerkin=False)
+        )
+        # identical operator => identical Krylov trajectory (to roundoff)
+        assert abs(res.iterations - ref.iterations) <= 1
+
+    def test_galerkin_vs_rediscretized(self):
+        """Both coarsening strategies converge; Galerkin never does worse
+        on this smooth-coefficient problem than rediscretization by much."""
+        its = {}
+        for galerkin in (True, False):
+            res, _ = solve_with_gmg(
+                (8, 8, 8), levels=3,
+                config=GMGConfig(levels=3, coarse_solver="lu", galerkin=galerkin),
+            )
+            assert res.converged
+            its[galerkin] = res.iterations
+        assert abs(its[True] - its[False]) <= 5
+
+    def test_assembled_fine_enables_full_galerkin(self):
+        """GMG-ii configuration: assembled fine level, Galerkin everywhere."""
+        res, _ = solve_with_gmg(
+            (4, 4, 4), levels=2,
+            config=GMGConfig(levels=2, fine_operator="asmb", galerkin=True,
+                             galerkin_from_fine=True, coarse_solver="lu"),
+        )
+        assert res.converged
+
+
+class TestCoarseSolvers:
+    @pytest.mark.parametrize("coarse", ["lu", "bjacobi-lu", "sa", "asm-cg"])
+    def test_converges_with_each_coarse_solver(self, coarse):
+        cfg = GMGConfig(levels=2, coarse_solver=coarse, coarse_nblocks=2)
+        res, _ = solve_with_gmg((4, 4, 4), config=cfg, rtol=1e-6)
+        assert res.converged
+
+    def test_unknown_coarse_solver(self):
+        with pytest.raises(ValueError):
+            solve_with_gmg((4, 4, 4),
+                           config=GMGConfig(levels=2, coarse_solver="magic"))
+
+
+class TestSmootherDegree:
+    def test_v33_converges_in_fewer_iterations_than_v22(self):
+        its = {}
+        for degree in (2, 3):
+            res, _ = solve_with_gmg(
+                (4, 4, 4),
+                config=GMGConfig(levels=2, coarse_solver="lu",
+                                 smoother_degree=degree),
+            )
+            its[degree] = res.iterations
+        assert its[3] <= its[2]
+
+
+class TestSetupStats:
+    def test_reports_level_sizes(self):
+        _, stats = solve_with_gmg((8, 8, 8), levels=3)
+        assert stats.level_ndofs[0] > stats.level_ndofs[1] > stats.level_ndofs[2]
+
+    def test_mesh_count_validation(self):
+        mesh = StructuredMesh((4, 4, 4), order=2)
+        with pytest.raises(ValueError):
+            build_gmg([mesh], [None], no_slip_bc, GMGConfig(levels=3))
+
+
+class TestCoefficientHierarchy:
+    def test_constant_preserved(self):
+        mesh = StructuredMesh((4, 4, 4), order=2)
+        meshes = mesh.hierarchy(2)[::-1]
+        eta = np.full((mesh.nel, QUAD.npoints), 3.5)
+        levels = coefficient_hierarchy(meshes, eta, QUAD)
+        for lv in levels:
+            assert np.allclose(lv, 3.5)
+
+    def test_positivity_preserved(self):
+        rng = np.random.default_rng(1)
+        mesh = StructuredMesh((4, 4, 4), order=2)
+        meshes = mesh.hierarchy(3)[::-1]
+        eta = np.exp(rng.normal(size=(mesh.nel, QUAD.npoints)))
+        levels = coefficient_hierarchy(meshes, eta, QUAD)
+        for lv in levels:
+            assert lv.min() > 0
+
+    def test_shapes_match_levels(self):
+        mesh = StructuredMesh((8, 4, 4), order=2)
+        meshes = mesh.hierarchy(3)[::-1]
+        eta = np.ones((mesh.nel, QUAD.npoints))
+        levels = coefficient_hierarchy(meshes, eta, QUAD)
+        for m, lv in zip(meshes, levels):
+            assert lv.shape == (m.nel, QUAD.npoints)

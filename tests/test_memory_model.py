@@ -1,0 +1,32 @@
+"""Memory model: the SS VI claim that matrix-free reduces storage."""
+
+import pytest
+
+from repro.perf.roofline import memory_bytes
+
+
+class TestMemoryModel:
+    def test_matrix_free_far_smaller_than_assembled(self):
+        nel, nnodes = 64**3, 129**3
+        asmb = memory_bytes("asmb", nel, nnodes)
+        tensor = memory_bytes("tensor", nel, nnodes)
+        assert asmb / tensor > 10  # order-of-magnitude storage saving
+
+    def test_tensor_c_between(self):
+        nel, nnodes = 16**3, 33**3
+        assert (memory_bytes("tensor", nel, nnodes)
+                < memory_bytes("tensor_c", nel, nnodes)
+                < memory_bytes("asmb", nel, nnodes))
+
+    def test_mf_equals_tensor_storage(self):
+        # both recompute geometry; storage is identical
+        assert memory_bytes("mf", 1000, 9261) == memory_bytes("tensor", 1000, 9261)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            memory_bytes("hypothetical", 10, 100)
+
+    def test_scales_linearly(self):
+        a1 = memory_bytes("asmb", 10**3, 21**3)
+        a8 = memory_bytes("asmb", 8 * 10**3, 41**3)
+        assert 6 < a8 / a1 < 9

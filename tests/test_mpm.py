@@ -1,0 +1,223 @@
+"""Material point method: containers, location, projection, advection."""
+
+import numpy as np
+import pytest
+
+from repro.fem import StructuredMesh, GaussQuadrature
+from repro.mpm import (
+    MaterialPoints,
+    advect_points,
+    interpolate_velocity,
+    invert_map,
+    locate_points,
+    project_to_corners,
+    project_to_quadrature,
+    seed_points,
+)
+from repro.mpm.projection import interpolate_nodal_at_points
+
+QUAD = GaussQuadrature.hex(3)
+
+
+class TestContainer:
+    def test_construction(self, rng):
+        pts = MaterialPoints(rng.uniform(size=(10, 3)))
+        assert pts.n == 10
+        assert np.all(pts.el == -1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MaterialPoints(np.zeros((4, 2)))
+
+    def test_subset_and_extend_roundtrip(self, rng):
+        pts = MaterialPoints(rng.uniform(size=(10, 3)),
+                             lithology=np.arange(10) % 3)
+        pts.add_field("age", np.arange(10.0))
+        a = pts.subset(np.arange(4))
+        b = pts.subset(np.arange(4, 10))
+        a.extend(b)
+        assert a.n == 10
+        assert np.array_equal(a.lithology, pts.lithology)
+        assert np.array_equal(a.field("age"), pts.field("age"))
+
+    def test_remove(self, rng):
+        pts = MaterialPoints(rng.uniform(size=(6, 3)))
+        pts.plastic_strain[:] = np.arange(6)
+        pts.remove(np.array([True, False, True, False, False, False]))
+        assert pts.n == 4
+        assert np.array_equal(pts.plastic_strain, [1, 3, 4, 5])
+
+    def test_field_length_validation(self, rng):
+        pts = MaterialPoints(rng.uniform(size=(5, 3)))
+        with pytest.raises(ValueError):
+            pts.add_field("bad", np.zeros(4))
+
+
+class TestSeeding:
+    def test_count_and_containment(self):
+        mesh = StructuredMesh((3, 2, 2), order=2)
+        pts = seed_points(mesh, 3)
+        assert pts.n == mesh.nel * 27
+        assert pts.x.min() >= 0 and pts.x.max() <= 1
+
+    def test_el_cache_consistent(self):
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        pts = seed_points(mesh, 2, jitter=0.2, rng=np.random.default_rng(0))
+        els, xi, lost = locate_points(mesh, pts.x)
+        assert not lost.any()
+        assert np.array_equal(els, pts.el)
+
+    def test_deformed_mesh_seeding(self):
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        mesh.deform(lambda c: c + 0.05 * np.sin(2 * np.pi * c[:, [1, 2, 0]]))
+        pts = seed_points(mesh, 2)
+        els, _, lost = locate_points(mesh, pts.x)
+        assert not lost.any()
+        assert np.array_equal(els, pts.el)
+
+    def test_invalid_ppd(self):
+        with pytest.raises(ValueError):
+            seed_points(StructuredMesh((2, 2, 2)), 0)
+
+
+class TestLocation:
+    def test_inverse_map_roundtrip(self, deformed_mesh, rng):
+        els = rng.integers(0, deformed_mesh.nel, size=40)
+        xi_true = rng.uniform(-0.95, 0.95, size=(40, 3))
+        N = deformed_mesh.basis.eval(xi_true)
+        x = np.einsum("pa,pac->pc", N,
+                      deformed_mesh.coords[deformed_mesh.connectivity[els]])
+        xi = invert_map(deformed_mesh, els, x)
+        assert np.abs(xi - xi_true).max() < 1e-9
+
+    def test_walking_from_bad_hint(self, rng):
+        mesh = StructuredMesh((4, 4, 4), order=2)
+        x = rng.uniform(0.05, 0.95, size=(30, 3))
+        hints = np.zeros(30, dtype=np.int64)  # all wrong
+        els, xi, lost = locate_points(mesh, x, hints=hints)
+        assert not lost.any()
+        # verify containment by forward map
+        N = mesh.basis.eval(xi)
+        xm = np.einsum("pa,pac->pc", N, mesh.coords[mesh.connectivity[els]])
+        assert np.abs(xm - x).max() < 1e-9
+
+    def test_points_outside_marked_lost(self):
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        x = np.array([[1.5, 0.5, 0.5], [0.5, -0.2, 0.5], [0.5, 0.5, 0.5]])
+        _, _, lost = locate_points(mesh, x)
+        assert lost.tolist() == [True, True, False]
+
+    def test_boundary_points_inside(self):
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        x = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0], [0.5, 0.0, 1.0]])
+        _, _, lost = locate_points(mesh, x)
+        assert not lost.any()
+
+
+class TestProjection:
+    def test_constant_reproduced(self, deformed_mesh):
+        pts = seed_points(deformed_mesh, 3, jitter=0.2,
+                          rng=np.random.default_rng(1))
+        fq = project_to_quadrature(deformed_mesh, pts.el, pts.xi,
+                                   np.full(pts.n, 2.5), QUAD)
+        assert np.allclose(fq, 2.5)
+
+    def test_bounds_preserved(self, rng):
+        """Eq. 12 is a convex combination: projected values stay within
+        the range of point values."""
+        mesh = StructuredMesh((3, 3, 3), order=2)
+        pts = seed_points(mesh, 2, jitter=0.3, rng=rng)
+        vals = rng.uniform(2.0, 7.0, size=pts.n)
+        fq = project_to_quadrature(mesh, pts.el, pts.xi, vals, QUAD)
+        assert fq.min() >= 2.0 - 1e-12
+        assert fq.max() <= 7.0 + 1e-12
+
+    def test_empty_vertices_flagged(self):
+        mesh = StructuredMesh((4, 4, 4), order=2)
+        # a single point: most vertices have empty support
+        pts = MaterialPoints(np.array([[0.1, 0.1, 0.1]]))
+        els, xi, _ = locate_points(mesh, pts.x)
+        nodal, empty = project_to_corners(mesh, els, xi, np.array([1.0]))
+        assert empty.sum() > 0
+        assert not empty.all()
+
+    def test_nodal_interpolation_at_points(self, rng):
+        """Interpolating a projected linear nodal field back at points is
+        exact for the trilinear interpolant."""
+        mesh = StructuredMesh((3, 3, 3), order=2)
+        lattice = mesh.corner_node_lattice()
+        nodal = 2.0 * mesh.coords[lattice, 0] + 1.0
+        pts = seed_points(mesh, 2, jitter=0.25, rng=rng)
+        vals = interpolate_nodal_at_points(mesh, nodal, pts.el, pts.xi)
+        assert np.allclose(vals, 2.0 * pts.x[:, 0] + 1.0, atol=1e-10)
+
+
+class TestAdvection:
+    def test_uniform_flow_exact(self):
+        mesh = StructuredMesh((4, 4, 4), order=2)
+        pts = seed_points(mesh, 2)
+        u = np.zeros(3 * mesh.nnodes)
+        u[0::3] = 0.05
+        u[2::3] = -0.03
+        x0 = pts.x.copy()
+        lost = advect_points(mesh, u, pts, dt=1.0)
+        assert np.allclose(pts.x, x0 + [0.05, 0, -0.03], atol=1e-13)
+        assert not lost[~lost].any()
+
+    def test_velocity_interpolation_quadratic_exact(self, rng):
+        """Q2 interpolation reproduces quadratic velocity fields exactly."""
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        u = np.zeros(3 * mesh.nnodes)
+        u[0::3] = mesh.coords[:, 0] ** 2
+        pts = seed_points(mesh, 2, jitter=0.3, rng=rng)
+        v = interpolate_velocity(mesh, u, pts.el, pts.xi)
+        assert np.allclose(v[:, 0], pts.x[:, 0] ** 2, atol=1e-12)
+
+    def test_rk2_beats_euler_on_rotation(self):
+        """Solid-body rotation: RK2 keeps the radius much better."""
+        mesh = StructuredMesh((6, 6, 2), order=2)
+        c = mesh.coords
+        u = np.zeros(3 * mesh.nnodes)
+        u[0::3] = -(c[:, 1] - 0.5)
+        u[1::3] = c[:, 0] - 0.5
+        drift = {}
+        for scheme in ("euler", "rk2"):
+            pts = MaterialPoints(np.array([[0.7, 0.5, 0.25]]))
+            r0 = 0.2
+            for _ in range(20):
+                advect_points(mesh, u, pts, dt=0.05, scheme=scheme)
+            r = np.hypot(pts.x[0, 0] - 0.5, pts.x[0, 1] - 0.5)
+            drift[scheme] = abs(r - r0)
+        assert drift["rk2"] < 0.2 * drift["euler"]
+
+    def test_rk4_beats_rk2_on_rotation(self):
+        """Radius drift under solid-body rotation orders as the schemes'
+        formal accuracy: rk4 < rk2."""
+        mesh = StructuredMesh((6, 6, 2), order=2)
+        c = mesh.coords
+        u = np.zeros(3 * mesh.nnodes)
+        u[0::3] = -(c[:, 1] - 0.5)
+        u[1::3] = c[:, 0] - 0.5
+        drift = {}
+        for scheme in ("rk2", "rk4"):
+            pts = MaterialPoints(np.array([[0.7, 0.5, 0.25]]))
+            for _ in range(20):
+                advect_points(mesh, u, pts, dt=0.1, scheme=scheme)
+            r = np.hypot(pts.x[0, 0] - 0.5, pts.x[0, 1] - 0.5)
+            drift[scheme] = abs(r - 0.2)
+        assert drift["rk4"] < 0.2 * drift["rk2"]
+
+    def test_outflow_points_lost(self):
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        pts = MaterialPoints(np.array([[0.95, 0.5, 0.5]]))
+        u = np.zeros(3 * mesh.nnodes)
+        u[0::3] = 1.0
+        lost = advect_points(mesh, u, pts, dt=0.2)
+        assert lost[0]
+
+    def test_unknown_scheme(self):
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        pts = seed_points(mesh, 1)
+        with pytest.raises(ValueError):
+            advect_points(mesh, np.zeros(3 * mesh.nnodes), pts, 0.1,
+                          scheme="rk7")

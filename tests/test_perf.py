@@ -1,0 +1,134 @@
+"""Performance model: Table I counts (paper's exact numbers) and roofline."""
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    EDISON,
+    OPERATOR_COUNTS,
+    MachineModel,
+    apply_time_per_element,
+    efficiency_metrics,
+    modeled_apply_time,
+    modeled_gflops,
+    modeled_solve_time,
+    table1_counts,
+    table1_model,
+)
+
+
+class TestPaperCounts:
+    """Pin the per-element numbers of Table I / SS III-D exactly."""
+
+    def test_assembled(self):
+        c = OPERATOR_COUNTS["asmb"]
+        assert c.flops == 9216
+        assert c.bytes_perfect_cache == 37248
+
+    def test_matrix_free(self):
+        c = OPERATOR_COUNTS["mf"]
+        assert c.flops == 53622
+        assert c.bytes_perfect_cache == 1008
+        assert c.bytes_pessimal_cache == 2376
+
+    def test_tensor(self):
+        c = OPERATOR_COUNTS["tensor"]
+        assert c.flops == 15228
+        assert c.bytes_perfect_cache == 1008
+
+    def test_tensor_c(self):
+        c = OPERATOR_COUNTS["tensor_c"]
+        assert c.flops == 14214
+        assert c.bytes_perfect_cache == 4920
+        assert c.bytes_pessimal_cache == 5832
+
+    def test_arithmetic_intensity_range(self):
+        """SS III-D: MF kernel intensity between 22.5 (pessimal) and 53
+        (perfect) flops/byte."""
+        c = OPERATOR_COUNTS["mf"]
+        assert c.intensity_pessimal == pytest.approx(22.5, abs=0.2)
+        assert c.intensity_perfect == pytest.approx(53.2, abs=0.2)
+
+    def test_tensor_flop_reduction_factor(self):
+        """Tensor kernel does ~3.5x fewer flops than the dense MF kernel."""
+        ratio = OPERATOR_COUNTS["mf"].flops / OPERATOR_COUNTS["tensor"].flops
+        assert 3.0 < ratio < 4.0
+
+    def test_table_order(self):
+        names = [c.name for c in table1_counts()]
+        assert names == ["asmb", "mf", "tensor", "tensor_c"]
+
+
+class TestMachineModel:
+    def test_edison_peak(self):
+        """8 Edison nodes = 3686.4 GF/s peak (the paper's Table I caption)."""
+        assert EDISON.peak_gflops(8) == pytest.approx(3686.4)
+
+    def test_bandwidth_per_core_contention(self):
+        assert EDISON.stream_gbytes_per_core == pytest.approx(89.0 / 24)
+
+
+class TestRoofline:
+    def test_assembled_is_bandwidth_bound(self):
+        """The assembled SpMV time must equal the memory-streaming time."""
+        t = apply_time_per_element("asmb", EDISON)
+        c = OPERATOR_COUNTS["asmb"]
+        bw = EDISON.stream_gbytes_per_core * EDISON.spmv_stream_fraction
+        assert t == pytest.approx(c.bytes_perfect_cache / (bw * 1e9))
+
+    def test_tensor_is_compute_bound(self):
+        """The tensor kernel's time is set by flops, not bytes."""
+        t = apply_time_per_element("tensor", EDISON)
+        c = OPERATOR_COUNTS["tensor"]
+        flop_rate = EDISON.peak_gflops_per_core * EDISON.mf_flop_fraction
+        assert t == pytest.approx(c.flops / (flop_rate * 1e9))
+
+    def test_modeled_ordering_matches_paper(self):
+        """Modeled apply times reproduce SS IV-B's ordering: matrix-free is
+        uniformly faster than assembled, tensor uniformly faster than
+        matrix-free."""
+        times = {k: modeled_apply_time(k, 64**3, 192) for k in OPERATOR_COUNTS}
+        assert times["tensor"] < times["mf"] < times["asmb"]
+
+    def test_paper_speedup_band(self):
+        """Tensor vs assembled modeled speedup for operator application is
+        order-of-magnitude-ish, consistent with the paper's ~2.7x solver
+        and larger operator-level gains."""
+        t_asmb = modeled_apply_time("asmb", 64**3, 192)
+        t_tens = modeled_apply_time("tensor", 64**3, 192)
+        assert 1.5 < t_asmb / t_tens < 15.0
+
+    def test_gflops_accounting(self):
+        t = modeled_apply_time("tensor", 1000, 1)
+        gf = modeled_gflops("tensor", 1000, t)
+        assert gf == pytest.approx(
+            EDISON.peak_gflops_per_core * EDISON.mf_flop_fraction
+        )
+
+    def test_table1_model_rows(self):
+        rows = table1_model()
+        assert len(rows) == 4
+        by_op = {r["operator"]: r for r in rows}
+        assert by_op["tensor"]["time_ms"] < by_op["asmb"]["time_ms"]
+        # mf achieves the highest GF/s but not the lowest time (SS IV-B)
+        assert by_op["mf"]["gflops"] >= by_op["tensor"]["gflops"]
+
+    def test_solve_time_scales_with_iterations(self):
+        t1 = modeled_solve_time("tensor", 10**5, 192, iterations=50)
+        t2 = modeled_solve_time("tensor", 10**5, 192, iterations=100)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_latency_term_hurts_small_subdomains(self):
+        """Strong scaling saturates: at tiny elements/core the reduction
+        latency dominates -- the communication threshold of Table III."""
+        nel = 32**3
+        t_big = modeled_solve_time("tensor", nel, 192, iterations=100)
+        t_small = modeled_solve_time("tensor", nel, 48 * 1024, iterations=100)
+        speedup = t_big / t_small
+        assert speedup < (48 * 1024) / 192  # far from ideal
+
+    def test_efficiency_metrics(self):
+        m = efficiency_metrics(1000, 10, 2.0, flops_total=4e9)
+        assert m["elements_per_core_per_s"] == pytest.approx(50.0)
+        assert m["gflops"] == pytest.approx(2.0)
+        assert m["gflops_per_core"] == pytest.approx(0.2)

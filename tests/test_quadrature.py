@@ -1,0 +1,68 @@
+"""Gauss quadrature: exactness, ordering, tensor structure."""
+
+import numpy as np
+import pytest
+
+from repro.fem.quadrature import GaussQuadrature, gauss_1d
+
+
+class TestGauss1D:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_weights_sum_to_interval_length(self, n):
+        _, w = gauss_1d(n)
+        assert w.sum() == pytest.approx(2.0, abs=1e-14)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_polynomial_exactness(self, n):
+        """n-point rule integrates degree 2n-1 exactly."""
+        pts, w = gauss_1d(n)
+        for deg in range(2 * n):
+            exact = (1 - (-1) ** (deg + 1)) / (deg + 1)
+            assert (w * pts**deg).sum() == pytest.approx(exact, abs=1e-13)
+
+    def test_degree_beyond_exactness_fails(self):
+        pts, w = gauss_1d(2)
+        # degree 4 is not integrated exactly by a 2-point rule
+        assert abs((w * pts**4).sum() - 2.0 / 5.0) > 1e-3
+
+    def test_points_symmetric(self):
+        pts, _ = gauss_1d(3)
+        assert np.allclose(pts, -pts[::-1])
+
+    def test_invalid_npoints(self):
+        with pytest.raises(ValueError):
+            gauss_1d(0)
+
+
+class TestHexQuadrature:
+    def test_total_weight_is_cube_volume(self):
+        q = GaussQuadrature.hex(3)
+        assert q.weights.sum() == pytest.approx(8.0, abs=1e-13)
+
+    def test_npoints(self):
+        assert GaussQuadrature.hex(2).npoints == 8
+        assert GaussQuadrature.hex(3).npoints == 27
+
+    def test_x_fastest_ordering(self):
+        """q = i + n*(j + n*k) with i the x index."""
+        q = GaussQuadrature.hex(3)
+        p1, _ = gauss_1d(3)
+        # first three points share y, z and walk x
+        assert np.allclose(q.points[:3, 0], p1)
+        assert np.allclose(q.points[:3, 1], p1[0])
+        assert np.allclose(q.points[:3, 2], p1[0])
+        # point 9 steps y once
+        assert q.points[3, 1] == pytest.approx(p1[1])
+        assert q.points[9, 2] == pytest.approx(p1[1])
+
+    def test_trilinear_monomial_exact(self):
+        q = GaussQuadrature.hex(2)
+        x, y, z = q.points.T
+        val = (q.weights * x**2 * y**2 * z**2).sum()
+        assert val == pytest.approx((2 / 3) ** 3, abs=1e-13)
+
+    def test_weights_match_tensor_product(self):
+        q = GaussQuadrature.hex(3)
+        p1, w1 = q.line()
+        expected = np.einsum("k,j,i->kji", w1, w1, w1).ravel()
+        assert np.allclose(q.weights, expected)

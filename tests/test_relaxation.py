@@ -1,0 +1,143 @@
+"""Relaxation preconditioners: Jacobi, block Jacobi LU, ILU(0), ASM."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solvers import (
+    JacobiPreconditioner,
+    BlockJacobiLU,
+    ILU0,
+    AdditiveSchwarz,
+    jacobi_smooth,
+    gcr,
+    cg,
+)
+
+
+def spd(n=80, seed=0, bandwidth=3):
+    rng = np.random.default_rng(seed)
+    A = sp.diags(
+        [rng.uniform(0.1, 1, n - abs(k)) for k in range(-bandwidth, bandwidth + 1)],
+        list(range(-bandwidth, bandwidth + 1)),
+    ).tocsr()
+    A = A + A.T + sp.diags(np.full(n, 2.0 * (2 * bandwidth + 1)))
+    return sp.csr_matrix(A)
+
+
+class TestJacobi:
+    def test_apply(self):
+        M = JacobiPreconditioner(np.array([2.0, 4.0]))
+        assert np.allclose(M(np.array([2.0, 4.0])), [1.0, 1.0])
+
+    def test_rejects_zero_diagonal(self):
+        with pytest.raises(ValueError):
+            JacobiPreconditioner(np.array([1.0, 0.0]))
+
+    def test_damped_jacobi_smooth_reduces_residual(self):
+        A = spd()
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal(A.shape[0])
+        x = jacobi_smooth(lambda v: A @ v, A.diagonal(), b, np.zeros_like(b),
+                          iterations=5)
+        assert np.linalg.norm(b - A @ x) < np.linalg.norm(b)
+
+
+class TestBlockJacobiLU:
+    def test_single_block_is_exact(self):
+        A = spd()
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal(A.shape[0])
+        M = BlockJacobiLU(A, nblocks=1)
+        assert np.allclose(A @ M(b), b, atol=1e-9)
+
+    @pytest.mark.parametrize("nblocks", [2, 4, 7])
+    def test_preconditions(self, nblocks):
+        A = spd()
+        rng = np.random.default_rng(3)
+        b = rng.standard_normal(A.shape[0])
+        res = cg(lambda v: A @ v, b, M=BlockJacobiLU(A, nblocks), rtol=1e-10,
+                 maxiter=200)
+        assert res.converged
+
+    def test_more_blocks_weaker(self):
+        """More (virtual) subdomains -> weaker coarse preconditioner, the
+        scaling pathology SS V attributes to one-subdomain-per-rank solvers."""
+        A = spd(n=200, seed=5)
+        b = np.ones(200)
+        its = []
+        for nb in (1, 8, 40):
+            res = cg(lambda v: A @ v, b, M=BlockJacobiLU(A, nb), rtol=1e-10,
+                     maxiter=300)
+            its.append(res.iterations)
+        assert its[0] <= its[1] <= its[2]
+
+
+class TestILU0:
+    def test_exact_for_full_pattern(self, rng):
+        n = 30
+        Q = rng.standard_normal((n, n))
+        A = sp.csr_matrix(Q @ Q.T + n * np.eye(n))
+        M = ILU0(A)
+        b = rng.standard_normal(n)
+        assert np.allclose(A @ M(b), b, atol=1e-8)
+
+    def test_exact_for_tridiagonal(self, rng):
+        """ILU(0) on a banded matrix with no fill-in IS the exact LU."""
+        n = 50
+        A = sp.diags([-1.0, 4.0, -1.0], [-1, 0, 1], shape=(n, n)).tocsr()
+        M = ILU0(A)
+        b = rng.standard_normal(n)
+        assert np.allclose(A @ M(b), b, atol=1e-10)
+
+    def test_preconditions_sparse_spd(self, rng):
+        A = spd(n=100, seed=7)
+        b = rng.standard_normal(100)
+        plain = gcr(lambda v: A @ v, b, rtol=1e-10, maxiter=400)
+        pc = gcr(lambda v: A @ v, b, M=ILU0(A), rtol=1e-10, maxiter=400)
+        assert pc.converged and pc.iterations <= plain.iterations
+
+    def test_requires_structural_diagonal(self):
+        A = sp.csr_matrix(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        A.eliminate_zeros()
+        with pytest.raises(ValueError):
+            ILU0(A)
+
+
+class TestASM:
+    def test_single_domain_full_overlap_exact(self, rng):
+        A = spd(n=40)
+        M = AdditiveSchwarz(A, nsub=1, overlap=0)
+        b = rng.standard_normal(40)
+        assert np.allclose(A @ M(b), b, atol=1e-9)
+
+    def test_overlap_improves_convergence(self, rng):
+        A = spd(n=200, seed=9)
+        b = rng.standard_normal(200)
+        its = {}
+        for ov in (0, 2, 6):
+            M = AdditiveSchwarz(A, nsub=8, overlap=ov)
+            its[ov] = gcr(lambda v: A @ v, b, M=M, rtol=1e-10, maxiter=400).iterations
+        assert its[6] <= its[2] <= its[0] + 1
+
+    def test_ilu0_subsolves(self, rng):
+        A = spd(n=120, seed=11)
+        b = rng.standard_normal(120)
+        M = AdditiveSchwarz(A, nsub=4, overlap=2, subsolve="ilu0")
+        res = gcr(lambda v: A @ v, b, M=M, rtol=1e-8, maxiter=400)
+        assert res.converged
+
+    def test_unknown_subsolve(self):
+        with pytest.raises(ValueError):
+            AdditiveSchwarz(spd(), subsolve="cholesky")
+
+    def test_more_subdomains_more_iterations(self, rng):
+        """ASM's algorithmic-scalability pathology (SS V): iteration count
+        grows with the subdomain count."""
+        A = spd(n=300, seed=13)
+        b = rng.standard_normal(300)
+        its = []
+        for nsub in (2, 10, 30):
+            M = AdditiveSchwarz(A, nsub=nsub, overlap=1)
+            its.append(gcr(lambda v: A @ v, b, M=M, rtol=1e-10, maxiter=500).iterations)
+        assert its[0] <= its[-1]

@@ -1,0 +1,199 @@
+"""Flow laws: values, derivatives, plastic limiter, composites."""
+
+import numpy as np
+import pytest
+
+from repro.rheology import (
+    ArrheniusViscosity,
+    CompositeRheology,
+    ConstantViscosity,
+    DruckerPrager,
+    Material,
+)
+from repro.rheology.composite import boussinesq_density
+from repro.rheology.laws import (
+    FrankKamenetskiiViscosity,
+    PowerLawViscosity,
+    strain_rate_invariant,
+    strain_rate_tensor,
+)
+
+
+class TestInvariants:
+    def test_strain_rate_tensor_symmetric(self, rng):
+        H = rng.standard_normal((5, 3, 3))
+        D = strain_rate_tensor(H)
+        assert np.allclose(D, np.swapaxes(D, -1, -2))
+
+    def test_invariant_of_simple_shear(self):
+        # du_x/dy = 1 => D_xy = 1/2, J2 = 0.5*(2*(1/2)^2) = 1/4
+        H = np.zeros((1, 3, 3))
+        H[0, 0, 1] = 1.0
+        eps = strain_rate_invariant(strain_rate_tensor(H))
+        assert eps[0] == pytest.approx(0.5)
+
+    def test_invariant_of_uniaxial(self):
+        # D = diag(1, -1/2, -1/2): J2 = 0.5 * (1 + 1/4 + 1/4) = 0.75
+        D = np.diag([1.0, -0.5, -0.5])[None]
+        assert strain_rate_invariant(D)[0] == pytest.approx(np.sqrt(0.75))
+
+    def test_floor_at_zero_strain(self):
+        assert strain_rate_invariant(np.zeros((1, 3, 3)))[0] > 0
+
+
+def fd_derivative(law, eps, **kw):
+    """d eta / d J2 by central differences in J2 = eps^2."""
+    h = 1e-6 * eps**2
+    ep = np.sqrt(eps**2 + h)
+    em = np.sqrt(eps**2 - h)
+    return (law(ep, **kw)[0] - law(em, **kw)[0]) / (2 * h)
+
+
+class TestLaws:
+    def test_constant(self):
+        law = ConstantViscosity(5.0)
+        eta, deta = law(np.array([1.0, 2.0]))
+        assert np.allclose(eta, 5.0)
+        assert np.allclose(deta, 0.0)
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantViscosity(0.0)
+
+    def test_power_law_newtonian_limit(self):
+        law = PowerLawViscosity(2.0, n=1.0)
+        eta, deta = law(np.array([0.1, 10.0]))
+        assert np.allclose(eta, 2.0)
+        assert np.allclose(deta, 0.0)
+
+    def test_power_law_shear_thinning(self):
+        law = PowerLawViscosity(1.0, n=3.0)
+        eta, deta = law(np.array([0.5, 1.0, 2.0]))
+        assert eta[0] > eta[1] > eta[2]
+        assert np.all(deta < 0)
+
+    @pytest.mark.parametrize("n", [1.5, 3.0, 5.0])
+    def test_power_law_derivative_fd(self, n):
+        law = PowerLawViscosity(2.0, n=n, eps0=0.7)
+        eps = np.array([0.3, 1.0, 4.0])
+        _, deta = law(eps)
+        assert np.allclose(deta, fd_derivative(law, eps), rtol=1e-4)
+
+    def test_arrhenius_temperature_weakening(self):
+        law = ArrheniusViscosity(A=1e-16, n=3.5, E=530e3)
+        eta_cold, _ = law(1e-15, temperature=800.0)
+        eta_hot, _ = law(1e-15, temperature=1600.0)
+        assert eta_cold > eta_hot
+
+    def test_arrhenius_pressure_strengthening(self):
+        law = ArrheniusViscosity(A=1e-16, n=3.5, E=530e3, V=1.5e-5)
+        lo, _ = law(1e-15, pressure=0.0, temperature=1400.0)
+        hi, _ = law(1e-15, pressure=1e9, temperature=1400.0)
+        assert hi > lo
+
+    def test_arrhenius_derivative_fd(self):
+        law = ArrheniusViscosity(A=1e-16, n=3.5, E=530e3)
+        eps = np.array([1e-15, 1e-14])
+        _, deta = law(eps, temperature=1400.0)
+        fd = fd_derivative(law, eps, temperature=1400.0)
+        assert np.allclose(deta, fd, rtol=1e-3)
+
+    def test_frank_kamenetskii(self):
+        law = FrankKamenetskiiViscosity(10.0, theta=np.log(1e4))
+        eta0, _ = law(1.0, temperature=0.0)
+        eta1, _ = law(1.0, temperature=1.0)
+        assert eta0 == pytest.approx(10.0)
+        assert eta0 / eta1 == pytest.approx(1e4)
+
+
+class TestDruckerPrager:
+    def test_strength_increases_with_pressure(self):
+        dp = DruckerPrager(cohesion=1.0, friction_deg=30.0)
+        assert dp.strength(2.0) > dp.strength(0.0)
+
+    def test_zero_friction_is_von_mises(self):
+        dp = DruckerPrager(cohesion=2.0, friction_deg=0.0)
+        assert dp.strength(5.0) == pytest.approx(2.0)
+
+    def test_negative_pressure_clamped(self):
+        dp = DruckerPrager(cohesion=1.0, friction_deg=30.0)
+        assert dp.strength(-10.0) == pytest.approx(dp.strength(0.0))
+
+    def test_softening(self):
+        dp = DruckerPrager(1.0, 30.0, cohesion_weak=0.2, friction_weak_deg=10.0,
+                           softening_strain=0.5)
+        intact = dp.strength(1.0, plastic_strain=0.0)
+        soft = dp.strength(1.0, plastic_strain=0.5)
+        softer = dp.strength(1.0, plastic_strain=5.0)  # saturates
+        assert intact > soft
+        assert soft == pytest.approx(softer)
+
+    def test_limit_caps_stress(self):
+        dp = DruckerPrager(cohesion=1.0, friction_deg=0.0)
+        eps = np.array([10.0])
+        eta_eff, _, yielding = dp.limit(np.array([100.0]), eps, np.array([0.0]))
+        # stress = 2 eta eps capped at tau_y = 1
+        assert 2 * eta_eff[0] * eps[0] == pytest.approx(1.0)
+        assert yielding[0]
+
+    def test_no_yield_below_strength(self):
+        dp = DruckerPrager(cohesion=100.0, friction_deg=0.0)
+        eta_eff, _, yielding = dp.limit(
+            np.array([1.0]), np.array([1.0]), np.array([0.0])
+        )
+        assert not yielding[0]
+        assert eta_eff[0] == 1.0
+
+    def test_plastic_derivative_fd(self):
+        dp = DruckerPrager(cohesion=1.0, friction_deg=0.0)
+        eps = np.array([5.0, 10.0])
+        big = np.array([1e10, 1e10])
+        _, deta, _ = dp.limit(big, eps, np.zeros(2))
+
+        def plastic_eta(e):
+            return dp.limit(big, e, np.zeros_like(e))[0]
+
+        h = 1e-6 * eps**2
+        fd = (plastic_eta(np.sqrt(eps**2 + h)) - plastic_eta(np.sqrt(eps**2 - h))) / (2 * h)
+        assert np.allclose(deta, fd, rtol=1e-4)
+
+    def test_tension_cutoff(self):
+        dp = DruckerPrager(cohesion=0.0, friction_deg=30.0, tension_cutoff=0.1)
+        assert dp.strength(0.0) == pytest.approx(0.1)
+
+
+class TestComposite:
+    def test_bounds_clip_and_zero_derivative(self):
+        comp = CompositeRheology(PowerLawViscosity(1.0, n=3.0), eta_min=0.5,
+                                 eta_max=2.0)
+        eta, deta, _ = comp.evaluate(np.array([1e-6, 1.0, 1e6]))
+        assert eta[0] == 2.0 and deta[0] == 0.0  # clipped at max
+        assert eta[2] == 0.5 and deta[2] == 0.0  # clipped at min
+
+    def test_plastic_branch_activates(self):
+        comp = CompositeRheology(
+            ConstantViscosity(100.0),
+            DruckerPrager(cohesion=1.0, friction_deg=0.0),
+        )
+        eta, deta, yielding = comp.evaluate(np.array([10.0]), np.array([0.0]))
+        assert yielding[0]
+        assert deta[0] < 0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            CompositeRheology(ConstantViscosity(1.0), eta_min=2.0, eta_max=1.0)
+
+
+class TestMaterial:
+    def test_simple_factory(self):
+        m = Material.simple("ambient", 1.0, 0.01)
+        eta, _, _ = m.rheology.evaluate(np.array([1.0]))
+        assert eta[0] == pytest.approx(0.01)
+        assert m.density() == pytest.approx(1.0)
+
+    def test_boussinesq(self):
+        assert boussinesq_density(2.0, 0.1, 1.0) == pytest.approx(1.8)
+        m = Material("hot", 2.0, CompositeRheology(ConstantViscosity(1.0)),
+                     alpha=0.1)
+        assert m.density(np.array([1.0]))[0] == pytest.approx(1.8)
+        assert m.density() == pytest.approx(2.0)

@@ -1,0 +1,136 @@
+"""Analytic verification anchors: Couette, Poiseuille, Stokes sphere."""
+
+import numpy as np
+import pytest
+
+from repro.fem import GaussQuadrature, StructuredMesh
+from repro.fem.bc import DirichletBC, boundary_nodes, component_dofs
+from repro.stokes import StokesConfig, StokesProblem, solve_stokes
+from repro.verification import (
+    couette_velocity,
+    poiseuille_body_force,
+    poiseuille_velocity,
+    stokes_sphere_velocity,
+)
+
+QUAD = GaussQuadrature.hex(3)
+
+
+def exact_dirichlet_everywhere(u_fn):
+    def bc_builder(mesh):
+        bc = DirichletBC(3 * mesh.nnodes)
+        ue = u_fn(mesh.coords)
+        for face in ("xmin", "xmax", "ymin", "ymax", "zmin", "zmax"):
+            nodes = boundary_nodes(mesh, face)
+            for c in range(3):
+                bc.add(component_dofs(nodes, c), ue[nodes, c])
+        return bc.finalize()
+
+    return bc_builder
+
+
+class TestCouette:
+    def test_linear_profile_to_machine_precision(self):
+        """The lid-driven linear shear profile lies in the Q2 space, so the
+        discrete solution matches it to solver tolerance at any resolution."""
+        mesh = StructuredMesh((3, 2, 3), order=2)
+        shape = (mesh.nel, QUAD.npoints)
+        pb = StokesProblem(
+            mesh, np.full(shape, 7.0), np.zeros(shape), gravity=(0, 0, 0),
+            bc_builder=exact_dirichlet_everywhere(couette_velocity),
+        )
+        sol = solve_stokes(pb, StokesConfig(mg_levels=1, coarse_solver="lu",
+                                            rtol=1e-12,
+                                            project_pressure_nullspace=True))
+        assert sol.converged
+        err = np.abs(sol.u.reshape(-1, 3) - couette_velocity(mesh.coords))
+        assert err.max() < 1e-9
+
+    def test_viscosity_independent(self):
+        """Constant-shear-stress flow: the velocity field is independent of
+        the (constant) viscosity."""
+        sols = []
+        for eta in (0.1, 100.0):
+            mesh = StructuredMesh((2, 2, 2), order=2)
+            shape = (mesh.nel, QUAD.npoints)
+            pb = StokesProblem(
+                mesh, np.full(shape, eta), np.zeros(shape), gravity=(0, 0, 0),
+                bc_builder=exact_dirichlet_everywhere(couette_velocity),
+            )
+            sol = solve_stokes(pb, StokesConfig(mg_levels=1,
+                                                coarse_solver="lu",
+                                                rtol=1e-12,
+                                                project_pressure_nullspace=True))
+            sols.append(sol.u)
+        assert np.abs(sols[0] - sols[1]).max() < 1e-8
+
+
+class TestPoiseuille:
+    def test_quadratic_profile_to_machine_precision(self):
+        """The body-force-driven channel profile is quadratic in z --
+        exactly in the Q2 space; the solve reproduces it at 2 elements."""
+        f = 3.0
+        eta = 2.0
+        u_fn = lambda c: poiseuille_velocity(c, f=f, eta=eta)
+        mesh = StructuredMesh((3, 2, 2), order=2)
+        shape = (mesh.nel, QUAD.npoints)
+        pb = StokesProblem(
+            mesh, np.full(shape, eta), np.ones(shape),
+            gravity=poiseuille_body_force(f),
+            bc_builder=exact_dirichlet_everywhere(u_fn),
+        )
+        sol = solve_stokes(pb, StokesConfig(mg_levels=1, coarse_solver="lu",
+                                            rtol=1e-12,
+                                            project_pressure_nullspace=True))
+        assert sol.converged
+        err = np.abs(sol.u.reshape(-1, 3) - u_fn(mesh.coords))
+        assert err.max() < 1e-8
+
+    def test_flux_scales_inversely_with_viscosity(self):
+        fluxes = {}
+        for eta in (1.0, 4.0):
+            u_fn = lambda c: poiseuille_velocity(c, f=1.0, eta=eta)
+            mesh = StructuredMesh((2, 2, 2), order=2)
+            shape = (mesh.nel, QUAD.npoints)
+            pb = StokesProblem(
+                mesh, np.full(shape, eta), np.ones(shape),
+                gravity=poiseuille_body_force(1.0),
+                bc_builder=exact_dirichlet_everywhere(u_fn),
+            )
+            sol = solve_stokes(pb, StokesConfig(mg_levels=1,
+                                                coarse_solver="lu",
+                                                rtol=1e-12,
+                                                project_pressure_nullspace=True))
+            fluxes[eta] = sol.u[0::3].mean()
+        assert fluxes[1.0] / fluxes[4.0] == pytest.approx(4.0, rel=1e-6)
+
+
+class TestStokesSphere:
+    def test_formula_limits(self):
+        rigid = stokes_sphere_velocity(1.0, 10.0, 0.1, 1.0)
+        assert rigid == pytest.approx(2 / 9 * 10.0 * 0.01)
+        bubble = stokes_sphere_velocity(1.0, 10.0, 0.1, 1.0, eta_sphere=0.0)
+        assert bubble == pytest.approx(1.5 * rigid)
+        hard = stokes_sphere_velocity(1.0, 10.0, 0.1, 1.0, eta_sphere=1e12)
+        assert hard == pytest.approx(rigid, rel=1e-6)
+
+    def test_simulated_sphere_bounded_by_analytic(self):
+        """The sinking speed of a single sphere in a closed box is below
+        the unbounded Hadamard-Rybczynski velocity (wall drag) but within
+        an order of magnitude of it."""
+        from repro.sim.sinker import SinkerConfig, sinker_stokes_problem
+
+        eta_amb, eta_sph = 0.01, 1.0
+        drho, g, R = 0.2, 9.8, 0.15
+        cfg = SinkerConfig(shape=(6, 6, 6), n_spheres=1, radius=R,
+                           delta_eta=eta_sph / eta_amb,
+                           rho_sphere=1.0 + drho, seed=5)
+        pb = sinker_stokes_problem(cfg)
+        sol = solve_stokes(pb, StokesConfig(mg_levels=2, coarse_solver="lu",
+                                            rtol=1e-7, maxiter=600,
+                                            restart=200))
+        assert sol.converged
+        # sphere sinking speed: most-negative w near the sphere
+        v_sim = -sol.u[2::3].min()
+        v_hr = stokes_sphere_velocity(drho, g, R, eta_amb, eta_sph)
+        assert 0.05 * v_hr < v_sim < 1.2 * v_hr
