@@ -7,10 +7,35 @@ the quantities of interest are iteration counts and one-shot wall times,
 not microbenchmark statistics.
 """
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.fem import DirichletBC, boundary_nodes, component_dofs
+
+
+@pytest.fixture(autouse=True, scope="module")
+def obs_trace(request):
+    """Profile each bench module through ``repro.obs``.
+
+    Every ``bench_*`` module runs with the observability layer enabled and,
+    at teardown, writes its stage/event/trace document as
+    ``BENCH_<module>.json`` (schema ``repro.obs/1``) next to the benchmarks
+    -- or under ``$REPRO_BENCH_JSON_DIR`` when set.
+    """
+    obs.reset()
+    obs.enable()
+    yield
+    obs.disable()
+    mod = request.module.__name__
+    outdir = Path(os.environ.get("REPRO_BENCH_JSON_DIR", Path(__file__).parent))
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / f"BENCH_{mod.removeprefix('bench_')}.json"
+    obs.write_json(path, meta={"module": mod})
+    obs.reset()
 
 
 def free_slip_bc(mesh) -> DirichletBC:

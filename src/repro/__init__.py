@@ -63,6 +63,7 @@ from .rheology import (
     DruckerPrager,
 )
 from .sim import Simulation, SimulationConfig, make_sinker, make_rifting
+from . import obs
 
 __all__ = [
     "__version__",
@@ -108,4 +109,5 @@ __all__ = [
     "SimulationConfig",
     "make_sinker",
     "make_rifting",
+    "obs",
 ]

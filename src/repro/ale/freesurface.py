@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.registry import instrument
+
 
 def _lattice_view(mesh) -> np.ndarray:
     """Coordinates reshaped to the node lattice ``(nnz, nny, nnx, 3)``."""
@@ -30,6 +32,7 @@ def surface_topography(mesh) -> np.ndarray:
     return _lattice_view(mesh)[-1, :, :, 2].copy()
 
 
+@instrument("ALESurfaceUpdate")
 def update_free_surface(mesh, u: np.ndarray, dt: float) -> np.ndarray:
     """Advance the surface kinematically and return the new topography.
 
@@ -53,6 +56,7 @@ def update_free_surface(mesh, u: np.ndarray, dt: float) -> np.ndarray:
     return h_new
 
 
+@instrument("ALERemesh")
 def remesh_vertical(mesh) -> None:
     """Redistribute interior nodes uniformly along each vertical column.
 

@@ -47,6 +47,14 @@ class FieldSplitMonitor:
             "pressure": list(self.pressure),
         }
 
+    def attach(self, name: str = "fieldsplit") -> dict:
+        """Export into the ``repro.obs`` JSON document (``"monitors"`` key)."""
+        from ..obs.trace import attach_monitor
+
+        data = self.as_dict()
+        attach_monitor(name, data)
+        return data
+
 
 @dataclass
 class IterationLog:
@@ -67,3 +75,21 @@ class IterationLog:
     def average_krylov(self) -> float:
         ks = self.krylov_per_step
         return float(np.mean(ks)) if ks else float("nan")
+
+    def as_dict(self) -> dict:
+        """JSON export, parallel to :meth:`FieldSplitMonitor.as_dict`."""
+        return {
+            "newton_per_step": list(self.newton_per_step),
+            "krylov_per_step": list(self.krylov_per_step),
+            "seconds_per_step": list(self.seconds_per_step),
+            "nonlinear_converged": list(self.nonlinear_converged),
+            "average_krylov": self.average_krylov,
+        }
+
+    def attach(self, name: str = "iteration_log") -> dict:
+        """Export into the ``repro.obs`` JSON document (``"monitors"`` key)."""
+        from ..obs.trace import attach_monitor
+
+        data = self.as_dict()
+        attach_monitor(name, data)
+        return data

@@ -10,33 +10,38 @@ from __future__ import annotations
 import numpy as np
 
 
+def _write_rows(fh, arr: np.ndarray) -> None:
+    """Stream one DataArray body row by row (never materialized whole)."""
+    if arr.ndim == 2:
+        for row in arr:
+            fh.write(" ".join(f"{v:.9g}" for v in row))
+            fh.write("\n")
+    else:
+        for v in arr:
+            fh.write(f"{v:.9g}\n")
+
+
 def write_vts(path: str, mesh, point_data: dict[str, np.ndarray]) -> None:
     """Write node coordinates and nodal fields of a structured mesh.
 
     ``point_data`` values may be shape ``(nnodes,)`` (scalar) or
     ``(nnodes, 3)`` / interleaved ``(3*nnodes,)`` (vector).
+
+    The ASCII body is streamed to the file handle row by row -- on fine
+    meshes the old join-everything-then-write approach briefly held the
+    whole multi-hundred-MB document in memory.  Inputs are validated
+    before the file is opened so a bad field cannot leave a truncated
+    document behind.
     """
     nnx, nny, nnz = mesh.nodes_per_dim
     extent = f"0 {nnx - 1} 0 {nny - 1} 0 {nnz - 1}"
-    lines = [
-        '<?xml version="1.0"?>',
-        '<VTKFile type="StructuredGrid" version="0.1" byte_order="LittleEndian">',
-        f'  <StructuredGrid WholeExtent="{extent}">',
-        f'    <Piece Extent="{extent}">',
-        "      <Points>",
-        '        <DataArray type="Float64" NumberOfComponents="3" format="ascii">',
-    ]
-    lines.append(
-        "\n".join(" ".join(f"{v:.9g}" for v in row) for row in mesh.coords)
-    )
-    lines += ["        </DataArray>", "      </Points>", "      <PointData>"]
+    arrays: list[tuple[str, int, np.ndarray]] = []
     for name, arr in point_data.items():
         arr = np.asarray(arr, dtype=np.float64)
         if arr.ndim == 1 and arr.size == 3 * mesh.nnodes:
             arr = arr.reshape(-1, 3)
         if arr.ndim == 2:
             ncomp = arr.shape[1]
-            body = "\n".join(" ".join(f"{v:.9g}" for v in row) for row in arr)
         else:
             if arr.size != mesh.nnodes:
                 raise ValueError(
@@ -44,18 +49,28 @@ def write_vts(path: str, mesh, point_data: dict[str, np.ndarray]) -> None:
                     f"{mesh.nnodes} (scalar) or {3 * mesh.nnodes} (vector)"
                 )
             ncomp = 1
-            body = "\n".join(f"{v:.9g}" for v in arr)
-        lines.append(
-            f'        <DataArray type="Float64" Name="{name}" '
-            f'NumberOfComponents="{ncomp}" format="ascii">'
-        )
-        lines.append(body)
-        lines.append("        </DataArray>")
-    lines += [
-        "      </PointData>",
-        "    </Piece>",
-        "  </StructuredGrid>",
-        "</VTKFile>",
-    ]
+        arrays.append((name, ncomp, arr))
     with open(path, "w") as fh:
-        fh.write("\n".join(lines) + "\n")
+        fh.write('<?xml version="1.0"?>\n')
+        fh.write('<VTKFile type="StructuredGrid" version="0.1" '
+                 'byte_order="LittleEndian">\n')
+        fh.write(f'  <StructuredGrid WholeExtent="{extent}">\n')
+        fh.write(f'    <Piece Extent="{extent}">\n')
+        fh.write("      <Points>\n")
+        fh.write('        <DataArray type="Float64" NumberOfComponents="3" '
+                 'format="ascii">\n')
+        _write_rows(fh, mesh.coords)
+        fh.write("        </DataArray>\n")
+        fh.write("      </Points>\n")
+        fh.write("      <PointData>\n")
+        for name, ncomp, arr in arrays:
+            fh.write(
+                f'        <DataArray type="Float64" Name="{name}" '
+                f'NumberOfComponents="{ncomp}" format="ascii">\n'
+            )
+            _write_rows(fh, arr)
+            fh.write("        </DataArray>\n")
+        fh.write("      </PointData>\n")
+        fh.write("    </Piece>\n")
+        fh.write("  </StructuredGrid>\n")
+        fh.write("</VTKFile>\n")

@@ -14,6 +14,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..fem.mesh import StructuredMesh
+from ..obs.registry import instrument
 from ..fem.quadrature import GaussQuadrature
 from ..fem.bc import DirichletBC
 from ..solvers.krylov import bicgstab, gmres
@@ -61,6 +62,7 @@ class EnergySolver:
         self._dN = mesh.basis.grad(self.quad.points)
         self._N = mesh.basis.eval(self.quad.points)
 
+    @instrument("EnergyAssemble")
     def _assemble(self, u_q: np.ndarray, dt: float):
         """System matrix ``M/dt + C + K`` and mass ``M`` with SUPG terms.
 
@@ -99,6 +101,7 @@ class EnergySolver:
         ue = u.reshape(-1, 3)[q2_mesh.connectivity]  # (nel, 27, 3)
         return np.einsum("qa,nac->nqc", N2, ue, optimize=True)
 
+    @instrument("EnergySolve")
     def step(self, T: np.ndarray, u_q: np.ndarray, dt: float,
              rtol: float = 1e-10) -> np.ndarray:
         """Advance temperature by one implicit Euler step."""

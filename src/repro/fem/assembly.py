@@ -20,6 +20,7 @@ import scipy.sparse as sp
 
 from .basis import P1DiscBasis
 from .quadrature import GaussQuadrature
+from ..obs.registry import instrument
 
 DEFAULT_CHUNK = 512
 
@@ -66,6 +67,7 @@ def viscous_element_matrices(
     return Ke.reshape(nel, 3 * nb, 3 * nb)
 
 
+@instrument("AssembleViscous")
 def assemble_viscous(
     mesh,
     eta_q: np.ndarray,
@@ -96,6 +98,7 @@ def assemble_viscous(
     return A.tocsr()
 
 
+@instrument("MatGetDiagonal")
 def viscous_diagonal(
     mesh, eta_q: np.ndarray, quad: GaussQuadrature | None = None
 ) -> np.ndarray:
@@ -120,6 +123,7 @@ def viscous_diagonal(
     return diag
 
 
+@instrument("AssembleDivergence")
 def assemble_divergence(
     mesh, quad: GaussQuadrature | None = None, chunk: int = DEFAULT_CHUNK
 ) -> sp.csr_matrix:
@@ -156,6 +160,7 @@ def assemble_divergence(
     return B.tocsr()
 
 
+@instrument("AssembleSchurMass")
 def pressure_mass_blocks(
     mesh, weight_q: np.ndarray | None = None, quad: GaussQuadrature | None = None
 ) -> np.ndarray:
@@ -183,6 +188,7 @@ def assemble_pressure_mass(
     return sp.block_diag([b for b in blocks], format="csr")
 
 
+@instrument("AssembleRHS")
 def rhs_body_force(
     mesh, rho_q: np.ndarray, g: np.ndarray, quad: GaussQuadrature | None = None
 ) -> np.ndarray:
@@ -274,6 +280,7 @@ def rhs_traction(
     return F
 
 
+@instrument("AssemblePoisson")
 def assemble_poisson(
     mesh,
     kappa_q: np.ndarray | None = None,

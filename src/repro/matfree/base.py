@@ -6,6 +6,12 @@ import numpy as np
 
 from ..fem.quadrature import GaussQuadrature
 from ..fem import assembly
+from ..obs import registry as _obs
+
+#: operators without their own Table I row borrow the closest kernel's
+#: analytic counts (the Newton apply is the tensor kernel plus a rank-one
+#: correction of the same order)
+_COUNT_ALIAS = {"newton": "tensor"}
 
 
 class ViscousOperatorBase:
@@ -34,6 +40,8 @@ class ViscousOperatorBase:
         self.ndof = 3 * mesh.nnodes
         #: number of operator applications performed (cost accounting)
         self.napplies = 0
+        #: lazy (flops, bytes) per apply for the MatMult event
+        self._event_cost = None
         conn = mesh.connectivity
         self._edofs = (
             3 * conn[:, :, None] + np.arange(3)[None, None, :]
@@ -45,7 +53,31 @@ class ViscousOperatorBase:
 
     def __call__(self, u: np.ndarray) -> np.ndarray:
         self.napplies += 1
+        return self.timed_apply(u)
+
+    def timed_apply(self, u: np.ndarray) -> np.ndarray:
+        """:meth:`apply` under a ``MatMult_<kind>`` event seeded with the
+        analytic per-element flop/byte counts of :mod:`repro.perf.counts`,
+        so a ``-log_view`` report turns measured time into achieved GF/s.
+        Does not touch :attr:`napplies` (cost accounting stays with
+        ``__call__``)."""
+        if _obs.STATE.enabled:
+            cost = self._event_cost
+            if cost is None:
+                cost = self._event_cost = self._lookup_event_cost()
+            with _obs.timed("MatMult_" + self.name,
+                            flops=cost[0], nbytes=cost[1]):
+                return self.apply(u)
         return self.apply(u)
+
+    def _lookup_event_cost(self) -> tuple[int, int]:
+        """Analytic (flops, bytes) of one whole-mesh apply, for the event."""
+        from ..perf.counts import OPERATOR_COUNTS
+
+        c = OPERATOR_COUNTS.get(_COUNT_ALIAS.get(self.name, self.name))
+        if c is None:
+            return (0, 0)
+        return (c.flops * self.mesh.nel, c.bytes_perfect_cache * self.mesh.nel)
 
     @property
     def flops_performed(self) -> int:

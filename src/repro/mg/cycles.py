@@ -13,6 +13,9 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import registry as _obs
+from ..obs.trace import trace_mg
+
 
 @dataclass
 class MGLevel:
@@ -79,11 +82,20 @@ class MGHierarchy:
         lvl = self.levels[level]
         if level == self.nlevels - 1:
             self.coarse_solve_calls += 1
-            return lvl.coarse_solve(b)
-        x = lvl.smoother.smooth(b, x)
+            with _obs.timed("MGCoarseSolve"):
+                return lvl.coarse_solve(b)
+        obs_on = _obs.STATE.enabled
+        # incoming residual norm is free only for a zero initial guess
+        rnorm_in = float(np.linalg.norm(b)) if obs_on and x is None else None
+        with _obs.timed(f"MGSmooth_level{level}"):
+            x = lvl.smoother.smooth(b, x)
         coarse = self.levels[level + 1]
-        r = b - lvl.apply(x)
-        rc = lvl.prolong.T @ r
+        with _obs.timed(f"MGResid_level{level}"):
+            r = b - lvl.apply(x)
+        if obs_on:
+            trace_mg(level, "presmooth", float(np.linalg.norm(r)), rnorm_in)
+        with _obs.timed(f"MGRestrict_level{level}"):
+            rc = lvl.prolong.T @ r
         if coarse.bc_mask is not None:
             rc[coarse.bc_mask] = 0.0
         # gamma = 1: V-cycle; gamma = 2: W-cycle (iterate the coarse-level
@@ -91,8 +103,16 @@ class MGHierarchy:
         ec = None
         for _ in range(self.gamma):
             ec = self.vcycle(rc, ec, level + 1)
-        x = x + lvl.prolong @ ec
-        return lvl.smoother.smooth(b, x)
+        with _obs.timed(f"MGProlong_level{level}"):
+            x = x + lvl.prolong @ ec
+        with _obs.timed(f"MGSmooth_level{level}"):
+            x = lvl.smoother.smooth(b, x)
+        if obs_on and _obs.STATE.mg_post_residuals:
+            # one extra operator apply per level per cycle: opt-in
+            trace_mg(
+                level, "postsmooth", float(np.linalg.norm(b - lvl.apply(x)))
+            )
+        return x
 
     def solve_iterate(self, b, x=None, cycles=None):
         """Run repeated V-cycles as a stationary iteration."""

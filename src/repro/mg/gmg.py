@@ -179,7 +179,8 @@ def build_gmg(
     bc0 = bcs[0]
     t0 = time.perf_counter()
     op = make_operator(cfg.fine_operator, meshes[0], eta_levels[0], quad=quad)
-    apply0 = bc0.wrap_apply(op.apply)
+    # timed_apply keeps the MatMult event visible inside smoother sweeps
+    apply0 = bc0.wrap_apply(op.timed_apply)
     diag0 = op.diagonal()
     diag0[bc0.mask] = 1.0
     if fine_is_assembled:

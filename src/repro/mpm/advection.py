@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.registry import instrument
 from .location import locate_points
 from .points import MaterialPoints
 
@@ -22,6 +23,7 @@ def interpolate_velocity(
     return np.einsum("pa,pac->pc", N, ue, optimize=True)
 
 
+@instrument("MPMAdvect")
 def advect_points(
     mesh,
     u: np.ndarray,

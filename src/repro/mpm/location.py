@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.registry import instrument
+
 #: |xi| tolerance for "inside the reference element"
 INSIDE_TOL = 1e-9
 
@@ -52,6 +54,7 @@ def invert_map(
     return xi
 
 
+@instrument("MPMLocate")
 def locate_points(
     mesh,
     x: np.ndarray,

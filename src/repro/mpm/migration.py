@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.registry import instrument
 from ..parallel.comm import VirtualComm
 from ..parallel.decomposition import BlockDecomposition
 from .location import locate_points
@@ -26,6 +27,7 @@ def count_points_per_element(mesh, points: MaterialPoints) -> np.ndarray:
     return np.bincount(points.el[inside], minlength=mesh.nel)
 
 
+@instrument("MPMMigrate")
 def migrate_points(
     decomp: BlockDecomposition,
     comm: VirtualComm,
@@ -75,6 +77,7 @@ def migrate_points(
     return rank_points, deleted
 
 
+@instrument("MPMPopulate")
 def populate_empty_cells(
     mesh,
     points: MaterialPoints,

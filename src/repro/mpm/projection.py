@@ -18,6 +18,7 @@ import numpy as np
 from ..fem.basis import q1_basis
 from ..fem.quadrature import GaussQuadrature
 from ..mg.coefficients import corner_nodal_to_quadrature
+from ..obs.registry import instrument
 
 
 def _corner_local_ids(mesh) -> np.ndarray:
@@ -53,6 +54,7 @@ def project_to_corners(
     return nodal, empty
 
 
+@instrument("MPMProject")
 def project_to_quadrature(
     mesh,
     els: np.ndarray,
@@ -75,6 +77,7 @@ def project_to_quadrature(
     return corner_nodal_to_quadrature(mesh, nodal, quad)
 
 
+@instrument("MPMInterp")
 def interpolate_nodal_at_points(
     mesh, nodal: np.ndarray, els: np.ndarray, xi: np.ndarray
 ) -> np.ndarray:

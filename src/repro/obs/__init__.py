@@ -1,0 +1,59 @@
+"""``repro.obs``: PETSc-style performance observability.
+
+The measurement substrate behind every number this reproduction reports:
+nested stage/event wall-time profiling with flop and byte accounting
+(:mod:`~repro.obs.registry`), a ``-log_view`` ASCII summary with achieved
+GF/s, GB/s and roofline fractions (:mod:`~repro.obs.report`), and
+structured solver convergence traces exported through a stable JSON
+schema (:mod:`~repro.obs.trace`).
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    sol = solve_stokes(problem, config)   # hot layers are pre-instrumented
+    obs.log_view()                        # PETSc-style stage/event table
+    obs.write_json("trace.json")          # schema-validated JSON document
+    obs.disable(); obs.reset()
+
+Profiling is off by default; the disabled fast path is a single flag test
+(see the dedicated overhead test), so the instrumentation stays in the
+hot paths permanently.
+"""
+
+from .registry import (
+    REGISTRY,
+    STATE,
+    EventRecord,
+    StageRecord,
+    disable,
+    enable,
+    enabled,
+    instrument,
+    log_bytes,
+    log_flops,
+    reset,
+    stage,
+    timed,
+)
+from .report import log_view, roofline_fraction
+from .trace import (
+    SCHEMA,
+    attach_monitor,
+    snapshot,
+    trace_ksp,
+    trace_mg,
+    trace_snes,
+    validate,
+    write_json,
+)
+
+__all__ = [
+    "REGISTRY", "STATE", "EventRecord", "StageRecord",
+    "enable", "disable", "enabled", "reset",
+    "stage", "timed", "instrument", "log_flops", "log_bytes",
+    "log_view", "roofline_fraction",
+    "SCHEMA", "snapshot", "validate", "write_json", "attach_monitor",
+    "trace_ksp", "trace_snes", "trace_mg",
+]

@@ -1,0 +1,182 @@
+"""Structured convergence tracing and the ``repro.obs`` JSON schema.
+
+Three trace streams mirror the paper's solver diagnostics:
+
+``ksp``
+    One record per Krylov iteration (Fig. 2's residual histories):
+    ``{"solver", "solve", "iteration", "rnorm"}`` -- appended by the
+    methods in :mod:`repro.solvers.krylov` next to their ``monitor``
+    hooks, so the existing callbacks keep working unchanged.
+``snes``
+    One record per nonlinear step (Fig. 4's Newton history):
+    ``{"solve", "iteration", "fnorm", "lambda", "linear_iterations"}``.
+``mg``
+    Per-level residual reduction inside the V-cycle
+    (``{"cycle", "level", "phase", "rnorm", "rnorm_in"}``); the
+    ``postsmooth`` phase costs an extra operator apply and is only
+    recorded under ``enable(mg_post_residuals=True)``.
+
+:func:`snapshot` exports everything -- stages, events, traces, attached
+monitors -- as one JSON document with a stable ``"schema"`` tag; the
+``benchmarks/`` drivers write their ``BENCH_*.json`` through it and
+:func:`validate` is the documented contract (also enforced in
+``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .registry import REGISTRY, STATE
+
+#: schema tag written into every exported document; bump on breaking change
+SCHEMA = "repro.obs/1"
+
+
+# --------------------------------------------------------------------- #
+# trace appenders (each is a guarded no-op while profiling is disabled)
+# --------------------------------------------------------------------- #
+def trace_ksp(solver: str, iteration: int, rnorm: float) -> None:
+    """Record one Krylov iteration; iteration 0 opens a new solve."""
+    if not STATE.enabled:
+        return
+    if iteration == 0:
+        REGISTRY._ksp_index += 1
+    REGISTRY.traces["ksp"].append({
+        "solver": solver,
+        "solve": REGISTRY._ksp_index,
+        "iteration": int(iteration),
+        "rnorm": float(rnorm),
+    })
+
+
+def trace_snes(
+    iteration: int,
+    fnorm: float,
+    step_length: float | None = None,
+    linear_iterations: int | None = None,
+) -> None:
+    """Record one nonlinear (Newton/Picard) step; iteration 0 opens a solve."""
+    if not STATE.enabled:
+        return
+    if iteration == 0:
+        REGISTRY._snes_index += 1
+    REGISTRY.traces["snes"].append({
+        "solve": REGISTRY._snes_index,
+        "iteration": int(iteration),
+        "fnorm": float(fnorm),
+        "lambda": None if step_length is None else float(step_length),
+        "linear_iterations": (
+            None if linear_iterations is None else int(linear_iterations)
+        ),
+    })
+
+
+def trace_mg(
+    level: int, phase: str, rnorm: float, rnorm_in: float | None = None
+) -> None:
+    """Record a per-level residual norm; level 0 ``presmooth`` opens a cycle."""
+    if not STATE.enabled:
+        return
+    if level == 0 and phase == "presmooth":
+        REGISTRY._mg_cycle += 1
+    REGISTRY.traces["mg"].append({
+        "cycle": REGISTRY._mg_cycle,
+        "level": int(level),
+        "phase": phase,
+        "rnorm": float(rnorm),
+        "rnorm_in": None if rnorm_in is None else float(rnorm_in),
+    })
+
+
+def attach_monitor(name: str, data: dict) -> None:
+    """Attach a monitor export (e.g. ``FieldSplitMonitor.as_dict()`` or
+    ``IterationLog.as_dict()``) so it rides along in :func:`snapshot` under
+    ``"monitors"`` -- the route the Fig. 2 / Fig. 4 benches use instead of
+    hand-rolled dicts.  Recorded even while profiling is disabled (the
+    caller already paid for the data)."""
+    REGISTRY.monitors[str(name)] = dict(data)
+
+
+# --------------------------------------------------------------------- #
+# export + validation
+# --------------------------------------------------------------------- #
+def snapshot(meta: dict | None = None) -> dict:
+    """The full registry as one schema-tagged, JSON-serializable document."""
+    return {
+        "schema": SCHEMA,
+        "stages": [s.as_dict() for s in REGISTRY.stages.values()],
+        "events": [e.as_dict() for e in REGISTRY.events.values()],
+        "traces": {k: list(v) for k, v in REGISTRY.traces.items()},
+        "monitors": {k: dict(v) for k, v in REGISTRY.monitors.items()},
+        "meta": dict(meta or {}),
+    }
+
+
+def write_json(path: str, meta: dict | None = None) -> dict:
+    """Validate and write :func:`snapshot` to ``path``; returns the doc."""
+    doc = validate(snapshot(meta))
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+_EVENT_FIELDS = {
+    "name": str, "stage": str, "count": int, "seconds": float,
+    "self_seconds": float, "flops": int, "bytes": int,
+    "gflops_per_s": float, "gbytes_per_s": float,
+}
+_STAGE_FIELDS = {
+    "name": str, "count": int, "seconds": float, "mem_peak_bytes": int,
+}
+_TRACE_FIELDS = {
+    "ksp": {"solver": str, "solve": int, "iteration": int, "rnorm": float},
+    "snes": {"solve": int, "iteration": int, "fnorm": float},
+    "mg": {"cycle": int, "level": int, "phase": str, "rnorm": float},
+}
+
+
+def _check_fields(record: dict, fields: dict, where: str) -> None:
+    for key, typ in fields.items():
+        if key not in record:
+            raise ValueError(f"{where}: missing field {key!r}")
+        val = record[key]
+        if typ is float:
+            ok = isinstance(val, (int, float)) and not isinstance(val, bool)
+        else:
+            ok = isinstance(val, typ) and not isinstance(val, bool)
+        if not ok:
+            raise ValueError(
+                f"{where}: field {key!r} has {type(val).__name__}, "
+                f"expected {typ.__name__}"
+            )
+
+
+def validate(doc: dict) -> dict:
+    """Check ``doc`` against the ``repro.obs/1`` schema; returns it.
+
+    Raises :class:`ValueError` with a pointed message on the first
+    violation -- the tests and the bench drivers both go through here, so
+    the schema cannot drift silently.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a dict")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unknown schema tag {doc.get('schema')!r}")
+    for key in ("stages", "events", "traces", "monitors", "meta"):
+        if key not in doc:
+            raise ValueError(f"missing top-level key {key!r}")
+    for i, ev in enumerate(doc["events"]):
+        _check_fields(ev, _EVENT_FIELDS, f"events[{i}]")
+    for i, st in enumerate(doc["stages"]):
+        _check_fields(st, _STAGE_FIELDS, f"stages[{i}]")
+    if not isinstance(doc["traces"], dict):
+        raise ValueError("traces must be a dict of record lists")
+    for kind, fields in _TRACE_FIELDS.items():
+        records = doc["traces"].get(kind, [])
+        for i, rec in enumerate(records):
+            _check_fields(rec, fields, f"traces[{kind!r}][{i}]")
+    if not isinstance(doc["monitors"], dict) or not isinstance(doc["meta"], dict):
+        raise ValueError("monitors and meta must be dicts")
+    return doc

@@ -35,6 +35,7 @@ from ..mpm.advection import advect_points
 from ..mpm.location import locate_points
 from ..mpm.migration import populate_empty_cells
 from ..mpm.projection import project_to_quadrature
+from ..obs import registry as _obs
 from ..solvers.nonlinear import newton
 from ..stokes.operators import StokesProblem
 from ..stokes.solve import StokesConfig, solve_stokes
@@ -280,48 +281,62 @@ class Simulation:
         return self.config.cfl * float(h.min()) / float(vmax)
 
     def step(self, dt: float | None = None) -> dict:
-        """Advance one coupled time step; returns a stats dict."""
+        """Advance one coupled time step; returns a stats dict.
+
+        Each phase runs under its own ``repro.obs`` stage (nested in
+        ``TimeStep``), so a ``-log_view`` report splits the step the way
+        the paper's per-phase timings do.
+        """
         cfg = self.config
         t0 = time.perf_counter()
-        result = self.solve_stokes_nonlinear()
-        if dt is None:
-            dt = self.stable_dt()
-            if not np.isfinite(dt):
-                dt = 0.0  # no flow yet: nothing to advect
+        with _obs.stage("TimeStep"):
+            with _obs.stage("StokesNonlinear"):
+                result = self.solve_stokes_nonlinear()
+            if dt is None:
+                dt = self.stable_dt()
+                if not np.isfinite(dt):
+                    dt = 0.0  # no flow yet: nothing to advect
 
-        # plastic strain accumulates at yielded points
-        _, _, _, yielding = self.point_properties(self.u, self.p)
-        if yielding.any() and dt > 0:
-            eps_p = strain_invariant_at_points(
-                self.mesh, self.u, self.points.el, self.points.xi
-            )
-            self.points.plastic_strain[yielding] += eps_p[yielding] * dt
+            # plastic strain accumulates at yielded points
+            with _obs.stage("PlasticUpdate"):
+                _, _, _, yielding = self.point_properties(self.u, self.p)
+                if yielding.any() and dt > 0:
+                    eps_p = strain_invariant_at_points(
+                        self.mesh, self.u, self.points.el, self.points.xi
+                    )
+                    self.points.plastic_strain[yielding] += eps_p[yielding] * dt
 
-        lost_count = 0
-        if dt > 0:
-            lost = advect_points(self.mesh, self.u, self.points, dt, cfg.advection_scheme)
-            lost_count = int(lost.sum())
-            if lost.any():
-                self.points.remove(lost)
-            injected = populate_empty_cells(
-                self.mesh, self.points, cfg.min_points_per_element
-            )
-        else:
-            injected = 0
+            lost_count = 0
+            if dt > 0:
+                with _obs.stage("MPMAdvect"):
+                    lost = advect_points(
+                        self.mesh, self.u, self.points, dt, cfg.advection_scheme
+                    )
+                    lost_count = int(lost.sum())
+                    if lost.any():
+                        self.points.remove(lost)
+                    injected = populate_empty_cells(
+                        self.mesh, self.points, cfg.min_points_per_element
+                    )
+            else:
+                injected = 0
 
-        if cfg.free_surface and dt > 0:
-            update_free_surface(self.mesh, self.u, dt)
-            remesh_vertical(self.mesh)
-            self._relocate_points()
-            self._B = None  # geometry changed
+            if cfg.free_surface and dt > 0:
+                with _obs.stage("ALERemesh"):
+                    update_free_surface(self.mesh, self.u, dt)
+                    remesh_vertical(self.mesh)
+                    self._relocate_points()
+                    self._B = None  # geometry changed
 
-        if self.energy is not None and dt > 0:
-            # keep the Q1 companion mesh glued to the (possibly moved) Q2 mesh
-            self.energy.mesh.set_coords(
-                self.mesh.coords[self.mesh.corner_node_lattice()]
-            )
-            u_q1 = self.energy.velocity_at_quadrature(self.mesh, self.u)
-            self.T = self.energy.step(self.T, u_q1, dt)
+            if self.energy is not None and dt > 0:
+                with _obs.stage("Energy"):
+                    # keep the Q1 companion mesh glued to the (possibly
+                    # moved) Q2 mesh
+                    self.energy.mesh.set_coords(
+                        self.mesh.coords[self.mesh.corner_node_lattice()]
+                    )
+                    u_q1 = self.energy.velocity_at_quadrature(self.mesh, self.u)
+                    self.T = self.energy.step(self.T, u_q1, dt)
 
         seconds = time.perf_counter() - t0
         self.time += dt

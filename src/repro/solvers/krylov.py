@@ -22,6 +22,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs.registry import STATE as _OBS, instrument
+from ..obs.trace import trace_ksp
 from .result import SolveResult
 
 Operator = Callable[[np.ndarray], np.ndarray]
@@ -39,6 +41,7 @@ def _tolerance(b_norm: float, r0_norm: float, rtol: float, atol: float) -> float
     return max(rtol * ref, atol)
 
 
+@instrument("KSPSolve_gcr")
 def gcr(
     A: Operator,
     b: np.ndarray,
@@ -62,6 +65,8 @@ def gcr(
     rnorm = float(np.linalg.norm(r))
     residuals = [rnorm]
     tol = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
+    if _OBS.enabled:
+        trace_ksp("gcr", 0, rnorm)
     if monitor:
         monitor(0, r, rnorm)
     if rnorm <= tol:
@@ -93,6 +98,8 @@ def gcr(
         it += 1
         rnorm = float(np.linalg.norm(r))
         residuals.append(rnorm)
+        if _OBS.enabled:
+            trace_ksp("gcr", it, rnorm)
         if monitor:
             monitor(it, r, rnorm)
         if rnorm <= tol:
@@ -100,6 +107,7 @@ def gcr(
     return SolveResult(x, False, it, residuals)
 
 
+@instrument("KSPSolve_fgmres")
 def fgmres(
     A: Operator,
     b: np.ndarray,
@@ -124,6 +132,8 @@ def fgmres(
     rnorm = float(np.linalg.norm(r))
     residuals = [rnorm]
     tol = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
+    if _OBS.enabled:
+        trace_ksp("fgmres", 0, rnorm)
     if monitor:
         monitor(0, None, rnorm)
     if rnorm <= tol:
@@ -168,6 +178,8 @@ def fgmres(
             it += 1
             rnorm = abs(g[j])
             residuals.append(rnorm)
+            if _OBS.enabled:
+                trace_ksp("fgmres", it, rnorm)
             if monitor:
                 monitor(it, None, rnorm)
             if rnorm <= tol:
@@ -207,6 +219,7 @@ def gmres(
     )
 
 
+@instrument("KSPSolve_cg")
 def cg(
     A: Operator,
     b: np.ndarray,
@@ -224,6 +237,8 @@ def cg(
     rnorm = float(np.linalg.norm(r))
     residuals = [rnorm]
     tol = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
+    if _OBS.enabled:
+        trace_ksp("cg", 0, rnorm)
     if monitor:
         monitor(0, r, rnorm)
     if rnorm <= tol:
@@ -242,6 +257,8 @@ def cg(
         r -= alpha * Ap
         rnorm = float(np.linalg.norm(r))
         residuals.append(rnorm)
+        if _OBS.enabled:
+            trace_ksp("cg", it, rnorm)
         if monitor:
             monitor(it, r, rnorm)
         if rnorm <= tol:
@@ -253,6 +270,7 @@ def cg(
     return SolveResult(x, False, maxiter, residuals)
 
 
+@instrument("KSPSolve_bicgstab")
 def bicgstab(
     A: Operator,
     b: np.ndarray,
@@ -270,6 +288,8 @@ def bicgstab(
     rnorm = float(np.linalg.norm(r))
     residuals = [rnorm]
     tol = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
+    if _OBS.enabled:
+        trace_ksp("bicgstab", 0, rnorm)
     if monitor:
         monitor(0, r, rnorm)
     if rnorm <= tol:
@@ -304,6 +324,8 @@ def bicgstab(
         rho = rho_new
         rnorm = float(np.linalg.norm(r))
         residuals.append(rnorm)
+        if _OBS.enabled:
+            trace_ksp("bicgstab", it, rnorm)
         if monitor:
             monitor(it, r, rnorm)
         if rnorm <= tol:

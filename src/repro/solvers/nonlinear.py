@@ -16,6 +16,9 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs.registry import STATE as _OBS, instrument
+from ..obs.trace import trace_snes
+
 
 @dataclass
 class NonlinearResult:
@@ -63,6 +66,7 @@ def eisenstat_walker(
     return float(np.clip(eta, 1e-8, eta_max))
 
 
+@instrument("SNESSolve")
 def newton(
     residual: Callable[[np.ndarray], np.ndarray],
     solve_linearized: Callable[[np.ndarray, np.ndarray, float], tuple[np.ndarray, int]],
@@ -99,6 +103,8 @@ def newton(
     tol = max(rtol * fnorm, atol)
     lin_its: list[int] = []
     steps: list[float] = []
+    if _OBS.enabled:
+        trace_snes(0, fnorm)
     if monitor:
         monitor(0, fnorm)
     if fnorm <= tol:
@@ -130,6 +136,8 @@ def newton(
         x, F, fnorm = x_trial, F_trial, fnorm_trial
         residuals.append(fnorm)
         steps.append(lam)
+        if _OBS.enabled:
+            trace_snes(it, fnorm, step_length=lam, linear_iterations=kits)
         if monitor:
             monitor(it, fnorm)
         if fnorm <= tol:
@@ -137,6 +145,7 @@ def newton(
     return NonlinearResult(x, False, maxiter, residuals, lin_its, steps)
 
 
+@instrument("SNESSolve_picard")
 def picard(
     residual: Callable[[np.ndarray], np.ndarray],
     solve_picard: Callable[[np.ndarray, np.ndarray, float], tuple[np.ndarray, int]],
@@ -160,6 +169,8 @@ def picard(
     residuals = [fnorm]
     tol = max(rtol * fnorm, atol)
     lin_its: list[int] = []
+    if _OBS.enabled:
+        trace_snes(0, fnorm)
     if monitor:
         monitor(0, fnorm)
     if fnorm <= tol:
@@ -171,6 +182,8 @@ def picard(
         F = residual(x)
         fnorm = float(np.linalg.norm(F))
         residuals.append(fnorm)
+        if _OBS.enabled:
+            trace_snes(it, fnorm, linear_iterations=kits)
         if monitor:
             monitor(it, fnorm)
         if fnorm <= tol:

@@ -33,8 +33,22 @@ class SolveResult:
     def final_residual(self) -> float:
         return self.residuals[-1] if self.residuals else float("nan")
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+    @property
+    def initial_residual(self) -> float:
+        return self.residuals[0] if self.residuals else float("nan")
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (the ``repro.obs`` trace-schema shape)."""
+        return {
+            "converged": bool(self.converged),
+            "iterations": int(self.iterations),
+            "residuals": [float(r) for r in self.residuals],
+            "initial_residual": float(self.initial_residual),
+            "final_residual": float(self.final_residual),
+        }
+
+    def __repr__(self) -> str:
         return (
             f"SolveResult(converged={self.converged}, its={self.iterations}, "
-            f"r0={self.residuals[0]:.3e}, rN={self.final_residual:.3e})"
+            f"r0={self.initial_residual:.3e}, rN={self.final_residual:.3e})"
         )

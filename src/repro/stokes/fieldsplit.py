@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..fem import assembly
+from ..obs import registry as _obs
 
 
 class SchurMass:
@@ -43,9 +44,10 @@ class SchurMass:
         return out.ravel()
 
     def __call__(self, rp: np.ndarray) -> np.ndarray:
-        blocks = rp.reshape(-1, 4, 1)
-        out = np.matmul(self._Minv, blocks)[:, :, 0]
-        return -out.ravel()
+        with _obs.timed("PCApply_schur"):
+            blocks = rp.reshape(-1, 4, 1)
+            out = np.matmul(self._Minv, blocks)[:, :, 0]
+            return -out.ravel()
 
 
 class FieldSplitPreconditioner:
@@ -72,8 +74,9 @@ class FieldSplitPreconditioner:
         self.nu = stokes_op.nu
 
     def __call__(self, r: np.ndarray) -> np.ndarray:
-        ru = r[: self.nu]
-        rp = r[self.nu:]
-        du = self.velocity_pc(ru)
-        dp = self.schur(rp - self.op.B_int @ du)
-        return np.concatenate([du, dp])
+        with _obs.timed("PCApply_fieldsplit"):
+            ru = r[: self.nu]
+            rp = r[self.nu:]
+            du = self.velocity_pc(ru)
+            dp = self.schur(rp - self.op.B_int @ du)
+            return np.concatenate([du, dp])

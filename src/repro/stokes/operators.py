@@ -128,10 +128,12 @@ class StokesOperator:
             # interior velocity only)
             keep = sp.diags((~mask).astype(float))
             self.B_int = (self.B @ keep).tocsr()
-            self._apply_A = self.bc.wrap_apply(self.A_op.apply)
+            self._apply_A = self.bc.wrap_apply(
+                getattr(self.A_op, "timed_apply", self.A_op.apply)
+            )
         else:
             self.B_int = self.B
-            self._apply_A = self.A_op.apply
+            self._apply_A = getattr(self.A_op, "timed_apply", self.A_op.apply)
 
     # ------------------------------------------------------------------ #
     def apply(self, x: np.ndarray) -> np.ndarray:

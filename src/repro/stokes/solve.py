@@ -17,6 +17,7 @@ import numpy as np
 
 from ..mg.coefficients import coefficient_hierarchy
 from ..mg.gmg import GMGConfig, build_gmg
+from ..obs import registry as _obs
 from ..solvers.krylov import gcr, fgmres
 from .fieldsplit import FieldSplitPreconditioner, SchurMass
 from .operators import StokesOperator, StokesProblem
@@ -111,15 +112,20 @@ def solve_stokes(
         raise ValueError("solve_stokes needs problem.bc_builder for the MG levels")
 
     t0 = time.perf_counter()
-    op = StokesOperator(
-        problem, kind=cfg.operator, velocity_operator=velocity_operator,
-        divergence=divergence,
-    )
-    meshes = mesh.hierarchy(cfg.mg_levels)[::-1]
-    if eta_levels is None:
-        eta_levels = coefficient_hierarchy(meshes, problem.eta_q, problem.quad)
-    mg, mg_stats = build_gmg(meshes, eta_levels, problem.bc_builder, cfg.gmg_config())
-    pc = FieldSplitPreconditioner(op, mg)
+    with _obs.stage("StokesSetup"):
+        op = StokesOperator(
+            problem, kind=cfg.operator, velocity_operator=velocity_operator,
+            divergence=divergence,
+        )
+        meshes = mesh.hierarchy(cfg.mg_levels)[::-1]
+        if eta_levels is None:
+            eta_levels = coefficient_hierarchy(meshes, problem.eta_q, problem.quad)
+        with _obs.timed("PCSetUp_gmg"):
+            mg, mg_stats = build_gmg(
+                meshes, eta_levels, problem.bc_builder, cfg.gmg_config()
+            )
+        with _obs.timed("PCSetUp_fieldsplit"):
+            pc = FieldSplitPreconditioner(op, mg)
     setup_s = time.perf_counter() - t0
 
     b = op.rhs() if rhs is None else rhs
@@ -137,11 +143,12 @@ def solve_stokes(
 
     t0 = time.perf_counter()
     if cfg.scheme == "scr":
-        x, scr_stats = solve_scr(
-            op, b, velocity_pc=mg, rtol=cfg.rtol,
-            inner_rtol=cfg.scr_inner_rtol, maxiter=cfg.maxiter,
-            monitor=monitor,
-        )
+        with _obs.stage("StokesSolve"):
+            x, scr_stats = solve_scr(
+                op, b, velocity_pc=mg, rtol=cfg.rtol,
+                inner_rtol=cfg.scr_inner_rtol, maxiter=cfg.maxiter,
+                monitor=monitor,
+            )
         x = project(x)
         solve_s = time.perf_counter() - t0
         return StokesSolution(
@@ -167,10 +174,11 @@ def solve_stokes(
         def pc_apply(r, _pc=pc):
             return project(_pc(r))
 
-    res = method(
-        apply_op, b, x0=x0, M=pc_apply, rtol=cfg.rtol, maxiter=cfg.maxiter,
-        restart=cfg.restart, monitor=monitor,
-    )
+    with _obs.stage("StokesSolve"):
+        res = method(
+            apply_op, b, x0=x0, M=pc_apply, rtol=cfg.rtol, maxiter=cfg.maxiter,
+            restart=cfg.restart, monitor=monitor,
+        )
     x = project(res.x)
     solve_s = time.perf_counter() - t0
     return StokesSolution(

@@ -111,6 +111,21 @@ class TestMonitorsAndHistories:
         assert len(seen) > 1
         assert max(abs(d) for _, d in seen) < 1e-10
 
+    def test_cg_monitor_receives_true_residual(self):
+        """CG's recurrence residual must be handed to the monitor and agree
+        with the reported norm -- the per-field split in
+        :class:`repro.diagnostics.monitors.FieldSplitMonitor` depends on it."""
+        A, b, _ = spd_system()
+        seen = []
+
+        def monitor(k, r, rnorm):
+            assert r is not None
+            seen.append(abs(np.linalg.norm(r) - rnorm))
+
+        cg(lambda v: A @ v, b, rtol=1e-8, monitor=monitor)
+        assert len(seen) > 1
+        assert max(seen) < 1e-10
+
     def test_fgmres_monitor_gets_none_residual(self):
         A, b, _ = spd_system()
         rs = []
