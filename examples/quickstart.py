@@ -72,7 +72,7 @@ def log_view_run(trace_path: str = "quickstart_trace.json") -> None:
     obs.reset()
 
 
-def main():
+def main(workers: int | None = None):
     mesh = StructuredMesh((8, 8, 8), order=2)  # Q2 velocity, P1disc pressure
 
     def in_blob(x):
@@ -88,6 +88,7 @@ def main():
         mg_levels=3,            # geometric V(2,2) hierarchy
         coarse_solver="sa",     # smoothed aggregation on the coarsest level
         rtol=1e-5,              # unpreconditioned relative tolerance
+        workers=workers,        # shared-memory element-kernel workers
     )
     sol = solve_stokes(problem, config)
 
@@ -106,7 +107,12 @@ if __name__ == "__main__":
         "--log-view", action="store_true",
         help="profile the run with repro.obs and print the stage/event table",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shared-memory workers for the element kernels (default: "
+             "$REPRO_WORKERS or serial); results are identical to serial",
+    )
     args = parser.parse_args()
-    main()
+    main(workers=args.workers)
     if args.log_view:
         log_view_run()

@@ -7,6 +7,7 @@ import numpy as np
 from ..fem.quadrature import GaussQuadrature
 from ..fem import assembly
 from ..obs import registry as _obs
+from ..parallel.executor import ParallelExecutor, make_executor, partition_elements
 
 #: operators without their own Table I row borrow the closest kernel's
 #: analytic counts (the Newton apply is the tensor kernel plus a rank-one
@@ -17,16 +18,24 @@ _COUNT_ALIAS = {"newton": "tensor"}
 class ViscousOperatorBase:
     """Common state for ``v -> -div(2 eta D(v))`` on interleaved Q2 dofs.
 
-    Subclasses implement :meth:`apply`.  ``eta_q`` is the effective
-    viscosity at the quadrature points, shape ``(nel, nq)`` -- in the full
-    pipeline this is the MPM-projected field (SS II-C).
+    Subclasses implement :meth:`_apply_elements` (the per-span kernel);
+    :meth:`apply` runs it over contiguous element slabs either inline or
+    through a :class:`~repro.parallel.executor.ParallelExecutor`.  The slab
+    structure and the task-ordered reduction are the same either way, so
+    the parallel result is bit-identical to :meth:`apply_serial`.
+
+    ``eta_q`` is the effective viscosity at the quadrature points, shape
+    ``(nel, nq)`` -- in the full pipeline this is the MPM-projected field
+    (SS II-C).
     """
 
     #: label used in benchmark tables (matches Table I rows)
     name = "base"
 
     def __init__(self, mesh, eta_q: np.ndarray, quad: GaussQuadrature | None = None,
-                 chunk: int = 2048):
+                 chunk: int = 2048, workers: int | None = None,
+                 parallel_backend: str | None = None,
+                 executor: ParallelExecutor | None = None):
         self.mesh = mesh
         self.quad = quad or GaussQuadrature.hex(3)
         eta_q = np.asarray(eta_q, dtype=np.float64)
@@ -46,10 +55,43 @@ class ViscousOperatorBase:
         self._edofs = (
             3 * conn[:, :, None] + np.arange(3)[None, None, :]
         )  # (nel, nb, 3)
+        self._executor = make_executor(workers, parallel_backend, executor)
+        nparts = self._executor.workers if self._executor is not None else 1
+        #: contiguous element slabs, one per worker (the executor's tasks)
+        self._spans = partition_elements(mesh, nparts)
+        #: process-backend staleness stamp (see executor state transport)
+        self._parallel_state_version = mesh.coords_version
 
     # -- interface ------------------------------------------------------ #
-    def apply(self, u: np.ndarray) -> np.ndarray:
+    @property
+    def executor(self) -> ParallelExecutor | None:
+        return self._executor
+
+    def _apply_elements(self, u: np.ndarray, s: int, e: int) -> np.ndarray:
+        """Contribution of elements ``[s, e)`` as a full ``(ndof,)`` vector."""
         raise NotImplementedError
+
+    def _before_apply(self) -> None:
+        """Refresh derived state before a (possibly parallel) apply."""
+        self._parallel_state_version = self.mesh.coords_version
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        self._before_apply()
+        if self._executor is not None:
+            return self._executor.dispatch(
+                self, "_apply_elements", self._spans, u,
+                out_len=self.ndof, mode="sum",
+            )
+        return ParallelExecutor.run_serial(
+            self, "_apply_elements", self._spans, u, mode="sum"
+        )
+
+    def apply_serial(self, u: np.ndarray) -> np.ndarray:
+        """The serial reference: identical span structure, run inline."""
+        self._before_apply()
+        return ParallelExecutor.run_serial(
+            self, "_apply_elements", self._spans, u, mode="sum"
+        )
 
     def __call__(self, u: np.ndarray) -> np.ndarray:
         self.napplies += 1
@@ -96,7 +138,9 @@ class ViscousOperatorBase:
 
     def diagonal(self) -> np.ndarray:
         """Operator diagonal (for Jacobi/Chebyshev), computed matrix-free."""
-        return assembly.viscous_diagonal(self.mesh, self.eta_q, self.quad)
+        return assembly.viscous_diagonal(
+            self.mesh, self.eta_q, self.quad, executor=self._executor
+        )
 
     # -- helpers for subclasses ----------------------------------------- #
     def _gather(self, u: np.ndarray, s: int, e: int) -> np.ndarray:
@@ -112,3 +156,8 @@ class ViscousOperatorBase:
     def _chunks(self):
         for start in range(0, self.mesh.nel, self.chunk):
             yield start, min(self.mesh.nel, start + self.chunk)
+
+    def _sub_chunks(self, s: int, e: int):
+        """Cache-sized sub-chunks of one executor span, in index order."""
+        for start in range(s, e, self.chunk):
+            yield start, min(e, start + self.chunk)

@@ -26,8 +26,8 @@ class TensorCOperator(TensorOperator):
 
     name = "tensor_c"
 
-    def __init__(self, mesh, eta_q, quad=None, chunk=4096):
-        super().__init__(mesh, eta_q, quad, chunk)
+    def __init__(self, mesh, eta_q, quad=None, chunk=4096, **parallel_opts):
+        super().__init__(mesh, eta_q, quad, chunk, **parallel_opts)
         self._C = self._build_coefficient_tensor()
         self._coords_version = mesh.coords_version
 
@@ -57,12 +57,17 @@ class TensorCOperator(TensorOperator):
             C[s:e] = term1 + term2
         return C
 
-    def apply(self, u: np.ndarray) -> np.ndarray:
+    def _before_apply(self) -> None:
+        # rebuilding C in the hook (rather than mid-apply) also bumps the
+        # executor's state version, so process workers re-snapshot it
         if self.mesh.coords_version != self._coords_version:
             self._C = self._build_coefficient_tensor()
             self._coords_version = self.mesh.coords_version
+        super()._before_apply()
+
+    def _apply_elements(self, u: np.ndarray, s0: int, e0: int) -> np.ndarray:
         y = np.zeros(self.ndof)
-        for s, e in self._chunks():
+        for s, e in self._sub_chunks(s0, e0):
             ue = u.reshape(-1, 3)[self.mesh.connectivity[s:e]]
             g = forward_gradient(self.B_hat, self.D_hat, ue.reshape(e - s, 3, 3, 3, 3), self._DK)
             t = np.einsum("nqcdef,nqef->nqcd", self._C[s:e], g, optimize=True)

@@ -29,6 +29,7 @@ from ..fem import assembly
 from ..fem.bc import DirichletBC
 from ..fem.quadrature import GaussQuadrature
 from ..matfree import make_operator
+from ..parallel.executor import ParallelCSRMatVec, make_executor
 from ..solvers.chebyshev import ChebyshevSmoother
 from ..solvers.relaxation import BlockJacobiLU
 from .cycles import MGLevel, MGHierarchy
@@ -64,6 +65,13 @@ class GMGConfig:
         ``lu``, ``bjacobi-lu``, or ``asm-cg`` (SS V configuration).
     coarse_nblocks:
         Virtual subdomain count for block-Jacobi / ASM coarse solvers.
+    workers:
+        Shared-memory worker count for per-level operator applies and
+        smoothing (``None`` reads ``$REPRO_WORKERS``; 1 = serial).  One
+        executor is shared by every level.
+    parallel_backend:
+        Executor backend (``thread``/``process``/``auto``); ``None`` reads
+        ``$REPRO_PARALLEL_BACKEND``.
     """
 
     levels: int = 3
@@ -73,6 +81,8 @@ class GMGConfig:
     smoother_degree: int = 2
     coarse_solver: str = "sa"
     coarse_nblocks: int = 1
+    workers: int | None = None
+    parallel_backend: str | None = None
     sa_config: SAConfig = field(default_factory=SAConfig)
     asm_overlap: int = 4
     asm_rtol: float = 1e-4
@@ -91,7 +101,11 @@ class GMGSetupStats:
     level_ndofs: list[int] = field(default_factory=list)
 
 
-def _wrap_assembled(A_bc: sp.csr_matrix):
+def _wrap_assembled(A_bc: sp.csr_matrix, executor=None):
+    if executor is not None:
+        # row-partitioned SpMV through the shared executor; bit-identical
+        # to the plain matvec (each row is one task's dot product)
+        return ParallelCSRMatVec(A_bc, executor)
     return lambda v: A_bc @ v
 
 
@@ -152,6 +166,8 @@ def build_gmg(
     stats = GMGSetupStats()
     quad = GaussQuadrature.hex(3)
     bcs = [bc_builder(m) for m in meshes]
+    # one shared worker pool for every level's applies and smoothing
+    executor = make_executor(cfg.workers, cfg.parallel_backend)
 
     levels: list[MGLevel] = []
     assembled: list[sp.csr_matrix | None] = [None] * cfg.levels
@@ -161,7 +177,9 @@ def build_gmg(
         # coarse solver (useful for tiny meshes and unit tests)
         bc0 = bcs[0]
         t0 = time.perf_counter()
-        A_raw = assembly.assemble_viscous(meshes[0], eta_levels[0], quad)
+        A_raw = assembly.assemble_viscous(
+            meshes[0], eta_levels[0], quad, executor=executor
+        )
         A_bc, _ = bc0.eliminate(A_raw, np.zeros(3 * meshes[0].nnodes))
         stats.assemble_seconds += time.perf_counter() - t0
         t0 = time.perf_counter()
@@ -169,8 +187,9 @@ def build_gmg(
         stats.coarse_setup_seconds += time.perf_counter() - t0
         stats.level_ndofs.append(3 * meshes[0].nnodes)
         lvl = MGLevel(
-            apply=_wrap_assembled(A_bc), coarse_solve=coarse, bc_mask=bc0.mask,
-            ndof=3 * meshes[0].nnodes, label=f"single[{cfg.coarse_solver}]",
+            apply=_wrap_assembled(A_bc, executor), coarse_solve=coarse,
+            bc_mask=bc0.mask, ndof=3 * meshes[0].nnodes,
+            label=f"single[{cfg.coarse_solver}]", executor=executor,
         )
         return MGHierarchy([lvl], cycles=cfg.cycles, gamma=cfg.gamma), stats
 
@@ -178,7 +197,10 @@ def build_gmg(
     # finest level
     bc0 = bcs[0]
     t0 = time.perf_counter()
-    op = make_operator(cfg.fine_operator, meshes[0], eta_levels[0], quad=quad)
+    op = make_operator(
+        cfg.fine_operator, meshes[0], eta_levels[0], quad=quad,
+        executor=executor,
+    )
     # timed_apply keeps the MatMult event visible inside smoother sweeps
     apply0 = bc0.wrap_apply(op.timed_apply)
     diag0 = op.diagonal()
@@ -194,6 +216,7 @@ def build_gmg(
             bc_mask=bc0.mask,
             ndof=3 * meshes[0].nnodes,
             label=f"gmg-fine[{cfg.fine_operator}]",
+            executor=executor,
         )
     )
     stats.level_ndofs.append(3 * meshes[0].nnodes)
@@ -217,11 +240,13 @@ def build_gmg(
             stats.galerkin_seconds += time.perf_counter() - t0
         else:
             t0 = time.perf_counter()
-            A_raw = assembly.assemble_viscous(mesh, eta_levels[k], quad)
+            A_raw = assembly.assemble_viscous(
+                mesh, eta_levels[k], quad, executor=executor
+            )
             Ak, _ = bc.eliminate(A_raw, np.zeros(3 * mesh.nnodes))
             stats.assemble_seconds += time.perf_counter() - t0
         assembled[k] = Ak
-        apply_k = _wrap_assembled(Ak)
+        apply_k = _wrap_assembled(Ak, executor)
         diag = Ak.diagonal().copy()
         diag[diag == 0.0] = 1.0
         if k == cfg.levels - 1:
@@ -235,6 +260,7 @@ def build_gmg(
                     bc_mask=bc.mask,
                     ndof=3 * mesh.nnodes,
                     label=f"gmg-coarse[{cfg.coarse_solver}]",
+                    executor=executor,
                 )
             )
         else:
@@ -245,6 +271,7 @@ def build_gmg(
                     bc_mask=bc.mask,
                     ndof=3 * mesh.nnodes,
                     label="gmg-assembled",
+                    executor=executor,
                 )
             )
         stats.level_ndofs.append(3 * mesh.nnodes)

@@ -32,6 +32,7 @@ from .registry import (
     enabled,
     instrument,
     log_bytes,
+    log_event_seconds,
     log_flops,
     reset,
     stage,
@@ -53,6 +54,7 @@ __all__ = [
     "REGISTRY", "STATE", "EventRecord", "StageRecord",
     "enable", "disable", "enabled", "reset",
     "stage", "timed", "instrument", "log_flops", "log_bytes",
+    "log_event_seconds",
     "log_view", "roofline_fraction",
     "SCHEMA", "snapshot", "validate", "write_json", "attach_monitor",
     "trace_ksp", "trace_snes", "trace_mg",

@@ -302,6 +302,29 @@ class _TrackedStageTimer(_StageTimer):
         return super().__exit__(*exc)
 
 
+def log_event_seconds(
+    name: str, seconds: float, count: int = 1, flops: int = 0, nbytes: int = 0
+) -> None:
+    """Accumulate externally measured time into a named event.
+
+    For work that happens where no ``timed`` frame can run -- e.g. queue
+    wait and busy time reported back by the parallel executor's workers.
+    The time lands in both ``seconds`` and ``self_seconds`` (no parent
+    frame exists to subtract it from).
+    """
+    if not STATE.enabled:
+        return
+    key = (REGISTRY._stage_path, name)
+    rec = REGISTRY.events.get(key)
+    if rec is None:
+        rec = REGISTRY.events[key] = EventRecord(name, REGISTRY._stage_path)
+    rec.count += count
+    rec.seconds += seconds
+    rec.self_seconds += seconds
+    rec.flops += flops
+    rec.bytes += nbytes
+
+
 def log_flops(n: int) -> None:
     """Add flops to the innermost active event (PETSc's ``PetscLogFlops``)."""
     if STATE.enabled and REGISTRY._frames:

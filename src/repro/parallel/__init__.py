@@ -12,15 +12,37 @@ timings for Tables II/III.
 
 from .comm import VirtualComm, CommStats
 from .decomposition import BlockDecomposition
-from .halo import halo_exchange_plan, reduction_count
+from .executor import (
+    ExecutorStats,
+    ParallelCSRMatVec,
+    ParallelExecutor,
+    WorkerCrash,
+    make_executor,
+    partition_elements,
+    partition_range,
+    resolve_backend,
+    resolve_workers,
+)
+from .halo import ExchangeStats, halo_exchange_plan, measured_exchange, reduction_count
 from .views import LocalView, rank_local_residual
 
 __all__ = [
     "VirtualComm",
     "CommStats",
     "BlockDecomposition",
+    "ExecutorStats",
+    "ExchangeStats",
+    "ParallelCSRMatVec",
+    "ParallelExecutor",
+    "WorkerCrash",
     "halo_exchange_plan",
+    "make_executor",
+    "measured_exchange",
+    "partition_elements",
+    "partition_range",
     "reduction_count",
+    "resolve_backend",
+    "resolve_workers",
     "LocalView",
     "rank_local_residual",
 ]

@@ -1,0 +1,519 @@
+"""Shared-memory multi-worker execution engine for element-chunk kernels.
+
+The paper's tensor-product kernel makes the Stokes operator embarrassingly
+element-parallel: every element batch reads the input vector and writes
+disjoint *element* contributions, with conflicts only at the scatter.  This
+module supplies the process-level analogue of the paper's per-rank element
+loop for the sequential reproduction:
+
+* elements are partitioned into contiguous slabs via the existing
+  :class:`~repro.parallel.decomposition.BlockDecomposition` (a ``(1, 1, p)``
+  split of the structured grid -- the element index is x-fastest, so each
+  subdomain is one contiguous index range);
+* slabs are fanned out to a persistent ``ThreadPoolExecutor`` or
+  fork-based ``ProcessPoolExecutor`` (backend selectable, default auto);
+* for the process backend, the input vector and the per-task output slabs
+  live in ``multiprocessing.shared_memory`` blocks, so only a few floats
+  cross the pickle boundary per task;
+* the scatter is race-free by construction: every task accumulates into its
+  **own** output buffer and the master reduces the partials **in task
+  order**, so the floating-point addition chain is exactly the one the
+  serial path executes and results match serial bit for bit.
+
+Determinism contract
+--------------------
+``dispatch(state, method, spans, u)`` computes
+
+    ``result = partial(spans[0]) + partial(spans[1]) + ...``  (left to right)
+
+where ``partial(s, e) = getattr(state, method)(u, s, e)``.  The serial
+reference :meth:`ParallelExecutor.run_serial` evaluates the identical
+expression inline, hence ``np.array_equal`` between the two holds for any
+worker count and backend (the kernels themselves are dot-reduction-free;
+each partial is computed by exactly one task).
+
+Process-backend state transport
+-------------------------------
+Worker processes are forked **after** the dispatched state object exists,
+so they inherit it by copy-on-write; only a small integer token travels
+with each task.  Registered state must therefore be immutable while the
+pool lives, or carry a ``_parallel_state_version`` stamp (the matfree
+operators use ``mesh.coords_version``): dispatching a token/version pair
+the pool has not seen triggers a respawn, i.e. a fresh snapshot.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+import weakref
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import registry as _obs
+from .decomposition import BlockDecomposition
+
+__all__ = [
+    "ExecutorStats",
+    "ParallelCSRMatVec",
+    "ParallelExecutor",
+    "WorkerCrash",
+    "make_executor",
+    "partition_elements",
+    "partition_range",
+    "resolve_backend",
+    "resolve_workers",
+]
+
+#: environment knobs honored when the call site passes ``None``
+ENV_WORKERS = "REPRO_WORKERS"
+ENV_BACKEND = "REPRO_PARALLEL_BACKEND"
+
+_BACKENDS = ("auto", "thread", "process", "serial")
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died mid-task (segfault, ``os._exit``, OOM kill).
+
+    The broken pool is dropped; the next dispatch respawns a fresh one.
+    Ordinary exceptions raised *by the kernel* are re-raised as themselves,
+    not wrapped in this.
+    """
+
+
+@dataclass
+class ExecutorStats:
+    """Accumulated engine counters (kept even while ``repro.obs`` is off)."""
+
+    dispatches: int = 0
+    tasks: int = 0
+    queue_wait_seconds: float = 0.0
+    worker_busy_seconds: float = 0.0
+    reduce_seconds: float = 0.0
+    bytes_in: int = 0      # input-vector bytes shipped to workers
+    bytes_out: int = 0     # partial-result bytes shipped back
+    respawns: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "dispatches": int(self.dispatches),
+            "tasks": int(self.tasks),
+            "queue_wait_seconds": float(self.queue_wait_seconds),
+            "worker_busy_seconds": float(self.worker_busy_seconds),
+            "reduce_seconds": float(self.reduce_seconds),
+            "bytes_in": int(self.bytes_in),
+            "bytes_out": int(self.bytes_out),
+            "respawns": int(self.respawns),
+        }
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Worker count: explicit argument, else ``$REPRO_WORKERS``, else 1."""
+    if workers is None:
+        workers = int(os.environ.get(ENV_WORKERS, "1") or "1")
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Backend name: explicit argument, else ``$REPRO_PARALLEL_BACKEND``,
+    else ``auto``.  ``auto`` picks threads: the element kernels spend their
+    time in einsum/BLAS, which release the GIL, and threads share every
+    array for free.  The process backend exists for GIL-bound kernels and
+    must be requested explicitly (or via the environment)."""
+    if backend is None:
+        backend = os.environ.get(ENV_BACKEND, "auto") or "auto"
+    backend = str(backend)
+    if backend not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    return backend
+
+
+def partition_range(n: int, nparts: int) -> list[tuple[int, int]]:
+    """As-even-as-possible contiguous split of ``range(n)`` (row blocks)."""
+    nparts = max(1, min(int(nparts), int(n))) if n else 1
+    bounds = np.linspace(0, n, nparts + 1).astype(np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(nparts)]
+
+
+def partition_elements(mesh, nparts: int) -> list[tuple[int, int]]:
+    """Contiguous element slabs from a ``(1, 1, p)`` block decomposition.
+
+    The element index is x-fastest (``ex + M*(ey + N*ez)``), so splitting
+    only the slowest (z) dimension makes every subdomain one contiguous
+    index range ``[M*N*bz[k], M*N*bz[k+1])`` -- the executor's unit of work.
+    Falls back to a plain index split when the mesh has fewer element
+    layers than parts.
+    """
+    M, N, P = mesh.shape
+    nparts = max(1, int(nparts))
+    if nparts == 1:
+        return [(0, mesh.nel)]
+    if nparts > P:
+        return partition_range(mesh.nel, nparts)
+    decomp = BlockDecomposition(mesh, (1, 1, nparts))
+    layer = M * N
+    return [
+        (int(layer * decomp.bz[k]), int(layer * decomp.bz[k + 1]))
+        for k in range(nparts)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# process-backend plumbing (module level so forked children inherit it)
+# --------------------------------------------------------------------- #
+_TOKENS = itertools.count(1)
+#: token -> state object; children snapshot this at fork time
+_FORK_REGISTRY: "weakref.WeakValueDictionary[int, object]" = (
+    weakref.WeakValueDictionary()
+)
+#: worker-side cache of attached shared-memory blocks, keyed by name
+_WORKER_SHM: dict = {}
+
+
+def _attach_shm(name: str):
+    cached = _WORKER_SHM.get(name)
+    if cached is None:
+        from multiprocessing import shared_memory
+
+        # the worker shares the master's (forked) resource tracker, so this
+        # attach-side register is a duplicate add and the master's unlink
+        # remains the single cleanup point
+        cached = shared_memory.SharedMemory(name=name)
+        _WORKER_SHM[name] = cached
+    return cached
+
+
+def _process_task(payload):
+    """Runs in a forked worker: one span of one dispatch."""
+    (token, version, method, s, e, in_name, n_in, out_name, out_off,
+     out_size, t_submit) = payload
+    wait = time.monotonic() - t_submit
+    t0 = time.perf_counter()
+    state = _FORK_REGISTRY.get(token)
+    if state is None or getattr(state, "_parallel_state_version", 0) != version:
+        return ("stale", 0.0, 0.0)
+    u = np.ndarray((n_in,), dtype=np.float64, buffer=_attach_shm(in_name).buf)
+    u.flags.writeable = False
+    out = np.ndarray(
+        (out_size,), dtype=np.float64,
+        buffer=_attach_shm(out_name).buf, offset=8 * out_off,
+    )
+    out[:] = getattr(state, method)(u, int(s), int(e))
+    return ("ok", wait, time.perf_counter() - t0)
+
+
+def _register_state(state) -> int:
+    token = getattr(state, "_repro_exec_token", None)
+    if token is not None and _FORK_REGISTRY.get(token) is state:
+        return token
+    token = next(_TOKENS)
+    try:
+        state._repro_exec_token = token
+    except AttributeError:
+        pass  # slotted objects get a fresh token per dispatch (still correct)
+    _FORK_REGISTRY[token] = state
+    return token
+
+
+class _ShmBlock:
+    """A master-owned, grow-only shared-memory block."""
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        self.shm = None
+
+    def ensure(self, nbytes: int) -> "_ShmBlock":
+        nbytes = max(int(nbytes), 8)
+        if self.shm is None or self.shm.size < nbytes:
+            from multiprocessing import shared_memory
+
+            self.close()
+            self.shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        return self
+
+    def view(self, n: int, offset: int = 0) -> np.ndarray:
+        return np.ndarray((n,), dtype=np.float64, buffer=self.shm.buf,
+                          offset=8 * offset)
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def close(self) -> None:
+        if self.shm is not None:
+            self.shm.close()
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
+            self.shm = None
+
+
+class ParallelExecutor:
+    """Persistent worker pool executing ``method(u, s, e)`` span kernels.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; ``None`` reads ``$REPRO_WORKERS`` (default 1).
+    backend:
+        ``"thread"``, ``"process"``, ``"serial"``, or ``"auto"`` (threads);
+        ``None`` reads ``$REPRO_PARALLEL_BACKEND``.
+    """
+
+    def __init__(self, workers: int | None = None, backend: str | None = None):
+        self.workers = resolve_workers(workers)
+        backend = resolve_backend(backend)
+        if backend == "auto":
+            backend = "thread"
+        if self.workers == 1:
+            backend = "serial"
+        self.backend = backend
+        self.stats = ExecutorStats()
+        self._pool = None
+        self._fork_known: set = set()   # (token, version) pairs seen by pool
+        self._shm_in = _ShmBlock("in")
+        self._shm_out = _ShmBlock("out")
+        self._finalizer = weakref.finalize(
+            self, ParallelExecutor._cleanup, self._shm_in, self._shm_out
+        )
+
+    # -- lifecycle ------------------------------------------------------ #
+    @staticmethod
+    def _cleanup(shm_in: _ShmBlock, shm_out: _ShmBlock) -> None:
+        shm_in.close()
+        shm_out.close()
+
+    def shutdown(self) -> None:
+        """Stop workers and release shared memory (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._fork_known.clear()
+        self._shm_in.close()
+        self._shm_out.close()
+
+    def _respawn_pool(self) -> None:
+        import multiprocessing
+
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self.stats.respawns += 1
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+        self._fork_known = set()
+
+    # -- dispatch ------------------------------------------------------- #
+    def dispatch(
+        self,
+        state,
+        method: str,
+        spans: list[tuple[int, int]],
+        u: np.ndarray,
+        out_len: int | None = None,
+        sizes: list[int] | None = None,
+        mode: str = "sum",
+    ) -> np.ndarray:
+        """Fan ``getattr(state, method)(u, s, e)`` over ``spans``; reduce.
+
+        ``mode="sum"``: every task returns ``(out_len,)``; the result is
+        the task-ordered sum.  ``mode="concat"``: task ``i`` returns
+        ``(sizes[i],)``; the result is the concatenation (row-partitioned
+        matvec).  Either way the reduction order is deterministic and
+        bit-identical to :meth:`run_serial`.
+        """
+        if mode not in ("sum", "concat"):
+            raise ValueError(f"mode must be 'sum' or 'concat', got {mode!r}")
+        if mode == "sum":
+            if out_len is None:
+                raise ValueError("mode='sum' requires out_len")
+            sizes = [int(out_len)] * len(spans)
+        elif sizes is None or len(sizes) != len(spans):
+            raise ValueError("mode='concat' requires sizes, one per span")
+        u = np.ascontiguousarray(u, dtype=np.float64)
+        if self.backend == "serial" or len(spans) == 1:
+            return self.run_serial(state, method, spans, u, sizes, mode)
+        nbytes_out = 8 * int(sum(sizes))
+        with _obs.timed("ParExecDispatch", nbytes=u.nbytes + nbytes_out):
+            if self.backend == "thread":
+                result = self._dispatch_threads(state, method, spans, u, sizes, mode)
+            else:
+                result = self._dispatch_processes(state, method, spans, u, sizes, mode)
+        self.stats.dispatches += 1
+        self.stats.tasks += len(spans)
+        self.stats.bytes_in += u.nbytes
+        self.stats.bytes_out += nbytes_out
+        return result
+
+    @staticmethod
+    def run_serial(state, method, spans, u, sizes=None, mode="sum"):
+        """The serial reference: identical task structure, run inline."""
+        fn = getattr(state, method)
+        partials = [fn(u, s, e) for s, e in spans]
+        return ParallelExecutor._reduce(partials, mode)
+
+    @staticmethod
+    def _reduce(partials, mode):
+        if mode == "concat":
+            return np.concatenate(partials)
+        out = partials[0].copy()
+        for p in partials[1:]:
+            out += p
+        return out
+
+    def _account(self, waits, busies, n):
+        wait = float(sum(waits))
+        busy = float(sum(busies))
+        self.stats.queue_wait_seconds += wait
+        self.stats.worker_busy_seconds += busy
+        _obs.log_event_seconds("ParExecQueueWait", wait, count=n)
+        _obs.log_event_seconds("ParExecWorkerBusy", busy, count=n)
+
+    def _reduce_timed(self, partials, mode):
+        t0 = time.perf_counter()
+        with _obs.timed("ParExecReduce"):
+            out = self._reduce(partials, mode)
+        self.stats.reduce_seconds += time.perf_counter() - t0
+        return out
+
+    # -- thread backend ------------------------------------------------- #
+    def _dispatch_threads(self, state, method, spans, u, sizes, mode):
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-exec",
+            )
+        fn = getattr(state, method)
+
+        def task(s, e, t_submit):
+            t0 = time.monotonic()
+            tb = time.perf_counter()
+            return fn(u, s, e), t0 - t_submit, time.perf_counter() - tb
+
+        futures = [
+            self._pool.submit(task, s, e, time.monotonic()) for s, e in spans
+        ]
+        partials, waits, busies = [], [], []
+        for fut in futures:
+            p, w, b = fut.result()
+            partials.append(p)
+            waits.append(w)
+            busies.append(b)
+        self._account(waits, busies, len(spans))
+        return self._reduce_timed(partials, mode)
+
+    # -- process backend ------------------------------------------------ #
+    def _dispatch_processes(self, state, method, spans, u, sizes, mode,
+                            _retry: bool = True):
+        token = _register_state(state)
+        version = getattr(state, "_parallel_state_version", 0)
+        if self._pool is None or (token, version) not in self._fork_known:
+            self._respawn_pool()
+            self._fork_known.add((token, version))
+        n_in = u.size
+        self._shm_in.ensure(u.nbytes)
+        self._shm_in.view(n_in)[:] = u
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        self._shm_out.ensure(8 * int(offsets[-1]))
+        in_name, out_name = self._shm_in.name, self._shm_out.name
+        payloads = [
+            (token, version, method, s, e, in_name, n_in, out_name,
+             int(offsets[i]), int(sizes[i]), time.monotonic())
+            for i, (s, e) in enumerate(spans)
+        ]
+        futures = [self._pool.submit(_process_task, p) for p in payloads]
+        waits, busies, stale = [], [], False
+        try:
+            for fut in futures:
+                status, w, b = fut.result()
+                if status == "stale":
+                    stale = True
+                else:
+                    waits.append(w)
+                    busies.append(b)
+        except BrokenExecutor as err:
+            self._pool = None
+            self._fork_known = set()
+            raise WorkerCrash(
+                f"a worker process died while applying {method!r} "
+                f"(spans={len(spans)}); the pool will be respawned on the "
+                "next dispatch"
+            ) from err
+        if stale:
+            # state mutated without a version bump since the fork snapshot;
+            # respawn once so the children re-inherit it
+            self._fork_known.discard((token, version))
+            if not _retry:
+                raise WorkerCrash(
+                    f"worker state for {type(state).__name__}.{method} is "
+                    "stale even after a pool respawn"
+                )
+            return self._dispatch_processes(
+                state, method, spans, u, sizes, mode, _retry=False
+            )
+        self._account(waits, busies, len(spans))
+        partials = [
+            self._shm_out.view(int(sizes[i]), int(offsets[i]))
+            for i in range(len(spans))
+        ]
+        out = self._reduce_timed(partials, mode)
+        if mode == "concat":
+            return out  # np.concatenate already copied out of shared memory
+        return out
+
+
+class ParallelCSRMatVec:
+    """Row-partitioned CSR matvec through a :class:`ParallelExecutor`.
+
+    CSR row blocks are independent and each output row is one dot product
+    computed by exactly one task, so the concatenated result is bit-
+    identical to ``A @ u``.  Used for the assembled (Galerkin) multigrid
+    levels, where the fine-level executor is already paid for.
+    """
+
+    def __init__(self, matrix, executor: ParallelExecutor):
+        self.matrix = matrix.tocsr() if not hasattr(matrix, "indptr") else matrix
+        self.executor = executor
+        self.spans = partition_range(self.matrix.shape[0], executor.workers)
+        self._blocks = {
+            (s, e): self.matrix[s:e] for s, e in self.spans
+        }
+        self.sizes = [e - s for s, e in self.spans]
+
+    def _apply_rows(self, u: np.ndarray, s: int, e: int) -> np.ndarray:
+        block = self._blocks.get((s, e))
+        if block is None:  # forked child with different spans (never in practice)
+            block = self._blocks[(s, e)] = self.matrix[s:e]
+        return block @ u
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        return self.executor.dispatch(
+            self, "_apply_rows", self.spans, u,
+            sizes=self.sizes, mode="concat",
+        )
+
+
+def make_executor(
+    workers: int | None = None,
+    backend: str | None = None,
+    executor: ParallelExecutor | None = None,
+) -> ParallelExecutor | None:
+    """Resolve the executor for an operator call site.
+
+    Returns ``executor`` unchanged when given; otherwise builds one when the
+    resolved worker count exceeds 1, and returns ``None`` (pure serial, no
+    engine in the loop) when it does not.
+    """
+    if executor is not None:
+        return executor
+    if resolve_workers(workers) <= 1:
+        return None
+    return ParallelExecutor(workers=workers, backend=backend)

@@ -1,23 +1,85 @@
 """Halo exchange accounting for the performance model.
 
-The sequential run operates on global vectors, so no data actually moves;
-these routines compute the message counts and byte volumes a real
-distributed run would incur per operator application, which the Edison
-machine model converts into communication time for Tables II/III.
+The sequential run operates on global vectors, so historically no data
+moved and these routines were purely analytic: message counts and byte
+volumes a real distributed run would incur, which the Edison machine model
+converts into communication time for Tables II/III.
+
+With the shared-memory executor (:mod:`repro.parallel.executor`) data
+*does* move per operator application -- the input vector is shipped to
+every worker and each worker ships a partial result back.  When an
+executor is passed, :func:`halo_exchange_plan` reports those **measured**
+byte volumes in place of the analytic ghost-layer estimate.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from .decomposition import BlockDecomposition
 
 
-def halo_exchange_plan(decomp: BlockDecomposition, dofs_per_node: int = 3):
+@dataclass
+class ExchangeStats:
+    """One exchange round: messages, total bytes, per-rank maximum.
+
+    ``measured`` distinguishes executor-observed traffic from the analytic
+    ghost-layer model.  Iterable for backward compatibility with the
+    ``(messages, bytes_total, max_bytes_per_rank)`` tuple return.
+    """
+
+    messages: int
+    bytes_total: int
+    max_bytes_per_rank: int
+    measured: bool = False
+
+    def __iter__(self):
+        return iter((self.messages, self.bytes_total, self.max_bytes_per_rank))
+
+    def __len__(self):
+        return 3
+
+    def __getitem__(self, i):
+        return (self.messages, self.bytes_total, self.max_bytes_per_rank)[i]
+
+
+def measured_exchange(executor) -> ExchangeStats | None:
+    """Per-dispatch traffic actually moved by a :class:`ParallelExecutor`.
+
+    Each dispatch ships the input vector to the pool once and one partial
+    result slab back per task; returns the average per dispatch, or
+    ``None`` if the executor has not dispatched yet.
+    """
+    st = getattr(executor, "stats", None)
+    if st is None or st.dispatches == 0:
+        return None
+    per_in = st.bytes_in / st.dispatches
+    per_out = st.bytes_out / st.dispatches
+    tasks_per = max(1, round(st.tasks / st.dispatches))
+    return ExchangeStats(
+        messages=tasks_per + 1,  # one broadcast in, one partial back per task
+        bytes_total=int(round(per_in + per_out)),
+        max_bytes_per_rank=int(round(per_in + per_out / tasks_per)),
+        measured=True,
+    )
+
+
+def halo_exchange_plan(
+    decomp: BlockDecomposition, dofs_per_node: int = 3, executor=None
+) -> ExchangeStats:
     """Per-rank halo traffic for one ghost update of a nodal field.
 
-    Returns ``(messages_total, bytes_total, max_bytes_per_rank)``.
+    Returns an :class:`ExchangeStats` (tuple-compatible:
+    ``(messages_total, bytes_total, max_bytes_per_rank)``).  When
+    ``executor`` is given and has dispatched, the byte volumes are the ones
+    the engine actually moved rather than the analytic ghost-node count.
     """
+    if executor is not None:
+        measured = measured_exchange(executor)
+        if measured is not None:
+            return measured
     msgs = 0
     total_bytes = 0
     max_rank_bytes = 0
@@ -28,7 +90,7 @@ def halo_exchange_plan(decomp: BlockDecomposition, dofs_per_node: int = 3):
         msgs += len(nbrs)
         total_bytes += b
         max_rank_bytes = max(max_rank_bytes, b)
-    return msgs, total_bytes, max_rank_bytes
+    return ExchangeStats(msgs, total_bytes, max_rank_bytes, measured=False)
 
 
 def reduction_count(krylov_iterations: int, method: str = "gcr") -> int:

@@ -30,7 +30,23 @@ def estimate_lambda_max(
     ``D``-weighted inner product (so the preconditioned operator is
     self-adjoint) give an estimate well within the paper's 1.1x safety
     factor.  Falls back to power iteration if the recurrence breaks down.
+
+    The recurrence runs on ``B = D^{-1/2} A D^{-1/2}``, so ``dinv`` must be
+    strictly positive: a negative entry (possible on a near-degenerate
+    coarse level) would send NaNs from the ``sqrt`` through every later
+    V-cycle.  Such diagonals are rejected with :class:`ValueError`; callers
+    that want to smooth anyway should hand in ``1/|diag|`` (see
+    :class:`ChebyshevSmoother`'s ``indefinite="abs"``).
     """
+    dinv = np.asarray(dinv, dtype=np.float64)
+    if not np.all(np.isfinite(dinv)) or np.any(dinv <= 0.0):
+        raise ValueError(
+            "estimate_lambda_max requires a strictly positive Jacobi "
+            "diagonal (Lanczos runs on D^{-1/2} A D^{-1/2}); got "
+            f"min(dinv) = {float(np.nanmin(dinv))!r}. For an indefinite "
+            "diagonal, pass 1/abs(diag) explicitly or construct the "
+            "smoother with indefinite='abs'."
+        )
     n = dinv.size
     rng = np.random.default_rng(seed)
     v = rng.standard_normal(n)
@@ -84,6 +100,12 @@ class ChebyshevSmoother:
         Target interval ``(lmin, lmax)``; if omitted, estimated as
         ``(emin_factor * lmax_hat, emax_factor * lmax_hat)`` with the
         paper's factors 0.2 and 1.1.
+    indefinite:
+        What to do when ``diag`` has negative entries (a near-degenerate
+        coarse level).  ``"raise"`` (default) rejects the diagonal with a
+        clear :class:`ValueError` instead of letting ``sqrt`` seed silent
+        NaNs; ``"abs"`` smooths with ``|diag|`` as the Jacobi scaling,
+        which keeps the V-cycle running at reduced smoothing quality.
     """
 
     def __init__(
@@ -95,11 +117,27 @@ class ChebyshevSmoother:
         emin_factor: float = 0.2,
         emax_factor: float = 1.1,
         eig_iters: int = 10,
+        indefinite: str = "raise",
     ):
+        if indefinite not in ("raise", "abs"):
+            raise ValueError(
+                f"indefinite must be 'raise' or 'abs', got {indefinite!r}"
+            )
         self.A = A
         diag = np.asarray(diag, dtype=np.float64)
-        if np.any(diag == 0.0):
-            raise ValueError("operator diagonal contains zeros")
+        if np.any(diag == 0.0) or not np.all(np.isfinite(diag)):
+            raise ValueError("operator diagonal contains zeros or non-finite entries")
+        if np.any(diag < 0.0):
+            if indefinite == "abs":
+                diag = np.abs(diag)
+            else:
+                raise ValueError(
+                    f"operator diagonal has {int(np.count_nonzero(diag < 0.0))}"
+                    " negative entries; Jacobi-Chebyshev requires a positive "
+                    "diagonal (sqrt(1/diag) in the eigenvalue estimate would "
+                    "produce NaNs). Pass indefinite='abs' to smooth with "
+                    "|diag|, or fix the level operator."
+                )
         self.dinv = 1.0 / diag
         self.degree = int(degree)
         if interval is None:

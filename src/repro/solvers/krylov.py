@@ -107,6 +107,122 @@ def gcr(
     return SolveResult(x, False, it, residuals)
 
 
+def _gmres_core(
+    A: Operator,
+    b: np.ndarray,
+    x0: np.ndarray | None,
+    M: Operator | None,
+    rtol: float,
+    atol: float,
+    maxiter: int,
+    restart: int,
+    monitor: Callable | None,
+    flexible: bool,
+    name: str,
+) -> SolveResult:
+    """Right-preconditioned GMRES core shared by :func:`gmres`/:func:`fgmres`.
+
+    ``flexible=True`` stores the preconditioned basis ``Z`` (Saad's FGMRES),
+    so ``M`` may change between iterations.  ``flexible=False`` keeps only
+    ``V`` and reconstructs the update as ``x += M(V^T y)``, which is exact
+    for a *linear* fixed preconditioner and saves the ``(m, n)`` Z block.
+
+    Happy breakdown (``H[j+1, j] == 0``): the Krylov space is invariant, so
+    the small least-squares problem is solved and the (exact) iterate is
+    returned immediately instead of orthogonalizing against a zero vector.
+    A fully dependent column (``H[j, j] == H[j+1, j] == 0`` after rotations,
+    e.g. from a singular preconditioner) is discarded rather than driven
+    into a singular triangular solve.
+    """
+    M = M or _identity
+    x = np.zeros_like(b) if x0 is None else x0.copy()
+    n = b.size
+    r = b - A(x)
+    rnorm = float(np.linalg.norm(r))
+    residuals = [rnorm]
+    tol = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
+    if _OBS.enabled:
+        trace_ksp(name, 0, rnorm)
+    if monitor:
+        monitor(0, None, rnorm)
+    if rnorm <= tol:
+        return SolveResult(x, True, 0, residuals)
+    it = 0
+    while it < maxiter and rnorm > tol:
+        m = min(restart, maxiter - it)
+        V = np.zeros((m + 1, n))
+        Z = np.zeros((m, n)) if flexible else None
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        V[0] = r / rnorm
+        g[0] = rnorm
+        j = 0
+        breakdown = False
+        while j < m:
+            if flexible:
+                Z[j] = M(V[j])
+                w = A(Z[j])
+            else:
+                w = A(M(V[j]))
+            H[0, j] = w @ V[0]
+            # out-of-place first step: A may have returned a view of the
+            # basis row it was handed (e.g. an identity operator), and an
+            # in-place update would corrupt the stored basis
+            w = w - H[0, j] * V[0]
+            for i in range(1, j + 1):
+                H[i, j] = w @ V[i]
+                w -= H[i, j] * V[i]
+            H[j + 1, j] = float(np.linalg.norm(w))
+            breakdown = H[j + 1, j] == 0.0
+            if not breakdown:
+                V[j + 1] = w / H[j + 1, j]
+            # apply stored Givens rotations to the new column
+            for i in range(j):
+                t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
+                H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
+                H[i, j] = t
+            denom = np.hypot(H[j, j], H[j + 1, j])
+            if denom == 0.0:
+                # the new column lies entirely in the span of the accepted
+                # ones and carries no information; keeping it would put a
+                # zero on the diagonal of the triangular solve below
+                break
+            cs[j] = H[j, j] / denom
+            sn[j] = H[j + 1, j] / denom
+            H[j, j] = denom
+            H[j + 1, j] = 0.0
+            g[j + 1] = -sn[j] * g[j]
+            g[j] = cs[j] * g[j]
+            j += 1
+            it += 1
+            rnorm = abs(g[j])
+            residuals.append(rnorm)
+            if _OBS.enabled:
+                trace_ksp(name, it, rnorm)
+            if monitor:
+                monitor(it, None, rnorm)
+            if breakdown or rnorm <= tol:
+                break
+        if j == 0:
+            # no usable direction at all (zero operator / singular M):
+            # report stagnation instead of crashing on a singular solve
+            return SolveResult(x, False, it, residuals)
+        # solve the small triangular system and update
+        y = np.linalg.solve(H[:j, :j], g[:j])
+        if flexible:
+            x += Z[:j].T @ y
+        else:
+            x += M(V[:j].T @ y)
+        r = b - A(x)
+        rnorm = float(np.linalg.norm(r))
+        residuals[-1] = rnorm
+        if breakdown or rnorm <= tol:
+            return SolveResult(x, rnorm <= tol, it, residuals)
+    return SolveResult(x, rnorm <= tol, it, residuals)
+
+
 @instrument("KSPSolve_fgmres")
 def fgmres(
     A: Operator,
@@ -125,76 +241,13 @@ def fgmres(
     monitor receives ``None`` as the residual vector -- the paper's stated
     reason for preferring GCR when per-field residuals matter.
     """
-    M = M or _identity
-    x = np.zeros_like(b) if x0 is None else x0.copy()
-    n = b.size
-    r = b - A(x)
-    rnorm = float(np.linalg.norm(r))
-    residuals = [rnorm]
-    tol = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
-    if _OBS.enabled:
-        trace_ksp("fgmres", 0, rnorm)
-    if monitor:
-        monitor(0, None, rnorm)
-    if rnorm <= tol:
-        return SolveResult(x, True, 0, residuals)
-    it = 0
-    while it < maxiter and rnorm > tol:
-        m = min(restart, maxiter - it)
-        V = np.zeros((m + 1, n))
-        Z = np.zeros((m, n))
-        H = np.zeros((m + 1, m))
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        g = np.zeros(m + 1)
-        V[0] = r / rnorm
-        g[0] = rnorm
-        j = 0
-        while j < m:
-            Z[j] = M(V[j])
-            w = A(Z[j])
-            for i in range(j + 1):
-                H[i, j] = w @ V[i]
-                w -= H[i, j] * V[i]
-            H[j + 1, j] = float(np.linalg.norm(w))
-            if H[j + 1, j] > 0:
-                V[j + 1] = w / H[j + 1, j]
-            # apply stored Givens rotations to the new column
-            for i in range(j):
-                t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
-                H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
-                H[i, j] = t
-            denom = np.hypot(H[j, j], H[j + 1, j])
-            if denom == 0.0:
-                j += 1
-                break
-            cs[j] = H[j, j] / denom
-            sn[j] = H[j + 1, j] / denom
-            H[j, j] = denom
-            H[j + 1, j] = 0.0
-            g[j + 1] = -sn[j] * g[j]
-            g[j] = cs[j] * g[j]
-            j += 1
-            it += 1
-            rnorm = abs(g[j])
-            residuals.append(rnorm)
-            if _OBS.enabled:
-                trace_ksp("fgmres", it, rnorm)
-            if monitor:
-                monitor(it, None, rnorm)
-            if rnorm <= tol:
-                break
-        # solve the small triangular system and update
-        y = np.linalg.solve(H[:j, :j], g[:j]) if j > 0 else np.zeros(0)
-        x += Z[:j].T @ y
-        r = b - A(x)
-        rnorm = float(np.linalg.norm(r))
-        residuals[-1] = rnorm
-        if rnorm <= tol:
-            return SolveResult(x, True, it, residuals)
-    return SolveResult(x, rnorm <= tol, it, residuals)
+    return _gmres_core(
+        A, b, x0, M, rtol, atol, maxiter, restart, monitor,
+        flexible=True, name="fgmres",
+    )
 
 
+@instrument("KSPSolve_gmres")
 def gmres(
     A: Operator,
     b: np.ndarray,
@@ -206,16 +259,18 @@ def gmres(
     restart: int = 30,
     monitor: Callable | None = None,
 ) -> SolveResult:
-    """Right-preconditioned GMRES (fixed preconditioner).
+    """Right-preconditioned GMRES (fixed *linear* preconditioner).
 
-    Identical to :func:`fgmres` when the preconditioner is linear; kept as a
-    distinct entry point for the Krylov ablation bench (A3) and because it
-    needs no Z storage for linear preconditioners.  Implemented by
-    delegation: for a fixed M, FGMRES *is* right-preconditioned GMRES.
+    Identical iterates to :func:`fgmres` when the preconditioner is linear,
+    but stores no ``(m, n)`` Z block: the update is reconstructed from the
+    Arnoldi basis as ``x += M(V^T y)`` at the cost of one extra
+    preconditioner application per restart cycle.  Kept as a distinct entry
+    point for the Krylov ablation bench (A3); use :func:`fgmres` or
+    :func:`gcr` whenever the preconditioner changes between iterations.
     """
-    return fgmres(
-        A, b, x0=x0, M=M, rtol=rtol, atol=atol, maxiter=maxiter,
-        restart=restart, monitor=monitor,
+    return _gmres_core(
+        A, b, x0, M, rtol, atol, maxiter, restart, monitor,
+        flexible=False, name="gmres",
     )
 
 
@@ -311,9 +366,17 @@ def bicgstab(
             break
         alpha = rho_new / denom
         s = r - alpha * v
-        if np.linalg.norm(s) <= tol:
+        snorm = float(np.linalg.norm(s))
+        if snorm <= tol:
+            # half-step convergence exits before the stabilization step;
+            # it must still emit trace/monitor like every other exit path,
+            # or obs convergence traces drop the final iterate
             x += alpha * y
-            residuals.append(float(np.linalg.norm(s)))
+            residuals.append(snorm)
+            if _OBS.enabled:
+                trace_ksp("bicgstab", it, snorm)
+            if monitor:
+                monitor(it, s, snorm)
             return SolveResult(x, True, it, residuals)
         z = M(s)
         t = A(z)

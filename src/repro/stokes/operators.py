@@ -107,11 +107,15 @@ class StokesOperator:
     """
 
     def __init__(self, problem: StokesProblem, kind: str = "tensor",
-                 velocity_operator=None, divergence: sp.spmatrix | None = None):
+                 velocity_operator=None, divergence: sp.spmatrix | None = None,
+                 workers: int | None = None, parallel_backend: str | None = None,
+                 executor=None):
         self.problem = problem
         mesh, quad = problem.mesh, problem.quad
         self.A_op = velocity_operator or make_operator(
-            kind, mesh, problem.eta_q, quad=quad
+            kind, mesh, problem.eta_q, quad=quad,
+            workers=workers, parallel_backend=parallel_backend,
+            executor=executor,
         )
         # geometry-only block; callers in nonlinear loops pass a cached one
         self.B = (

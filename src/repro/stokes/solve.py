@@ -45,6 +45,10 @@ class StokesConfig:
     project_pressure_nullspace: bool = False
     mg_cycles: int = 1
     gamma: int = 1  # multigrid cycle index (1 = V, 2 = W)
+    #: shared-memory workers for the element-kernel hot path (None reads
+    #: $REPRO_WORKERS; 1 = serial); backend: thread/process/auto
+    workers: int | None = None
+    parallel_backend: str | None = None
 
     def gmg_config(self) -> GMGConfig:
         return GMGConfig(
@@ -56,6 +60,8 @@ class StokesConfig:
             coarse_nblocks=self.coarse_nblocks,
             cycles=self.mg_cycles,
             gamma=self.gamma,
+            workers=self.workers,
+            parallel_backend=self.parallel_backend,
         )
 
 
@@ -115,7 +121,8 @@ def solve_stokes(
     with _obs.stage("StokesSetup"):
         op = StokesOperator(
             problem, kind=cfg.operator, velocity_operator=velocity_operator,
-            divergence=divergence,
+            divergence=divergence, workers=cfg.workers,
+            parallel_backend=cfg.parallel_backend,
         )
         meshes = mesh.hierarchy(cfg.mg_levels)[::-1]
         if eta_levels is None:

@@ -101,3 +101,55 @@ class TestSmoother:
         A = laplace_1d(32)
         cheb = ChebyshevSmoother(lambda v: A @ v, A.diagonal(), degree=2)
         assert cheb.lmax / cheb.lmin == pytest.approx(1.1 / 0.2, rel=1e-12)
+
+
+class TestIndefiniteDiagonal:
+    """Regression: an indefinite operator diagonal used to surface as an
+    opaque ``LinAlgError`` from the Lanczos eigensolve; it must now be
+    rejected up front with an actionable message (or handled via the
+    explicit ``indefinite='abs'`` opt-in)."""
+
+    def indefinite_system(self, n=16):
+        d = np.linspace(1.0, 2.0, n)
+        d[n // 2] = -0.5  # one negative pivot (e.g. an unpinned BC row)
+        return sp.diags(d).tocsr() + 0.01 * sp.eye(n, k=1) + 0.01 * sp.eye(n, k=-1)
+
+    def test_estimate_rejects_negative_dinv(self):
+        A = self.indefinite_system()
+        with pytest.raises(ValueError, match="positive"):
+            estimate_lambda_max(lambda v: A @ v, 1.0 / A.diagonal())
+
+    def test_estimate_rejects_nonfinite_dinv(self):
+        A = laplace_1d(8)
+        dinv = 1.0 / A.diagonal()
+        dinv[2] = np.inf
+        with pytest.raises(ValueError):
+            estimate_lambda_max(lambda v: A @ v, dinv)
+
+    def test_smoother_rejects_negative_diagonal(self):
+        A = self.indefinite_system()
+        with pytest.raises(ValueError, match="indefinite='abs'"):
+            ChebyshevSmoother(lambda v: A @ v, A.diagonal())
+
+    def test_smoother_abs_fallback_is_finite(self):
+        A = self.indefinite_system()
+        cheb = ChebyshevSmoother(lambda v: A @ v, A.diagonal(),
+                                 indefinite="abs")
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal(A.shape[0])
+        x = cheb.smooth(b, None)
+        assert np.all(np.isfinite(x))
+
+    def test_invalid_indefinite_mode(self):
+        A = laplace_1d(8)
+        with pytest.raises(ValueError, match="indefinite"):
+            ChebyshevSmoother(lambda v: A @ v, A.diagonal(),
+                              indefinite="clip")
+
+    def test_positive_diagonal_unaffected(self):
+        """The validation must not change behavior on the SPD path."""
+        A = laplace_1d(32)
+        c1 = ChebyshevSmoother(lambda v: A @ v, A.diagonal(), degree=2)
+        c2 = ChebyshevSmoother(lambda v: A @ v, A.diagonal(), degree=2,
+                               indefinite="abs")
+        assert c1.lmax == c2.lmax and c1.lmin == c2.lmin

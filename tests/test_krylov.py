@@ -167,3 +167,124 @@ class TestBudget:
         A, b, _ = spd_system()
         res = cg(lambda v: A @ v, b, rtol=0.0, atol=1e-4, maxiter=500)
         assert res.final_residual <= 1e-4
+
+
+class TestEdgeCases:
+    """Regression tests for the solver edge-case fixes: happy breakdown,
+    dependent/singular-preconditioner columns, BiCGstab's early-exit
+    instrumentation, and the non-flexible GMRES memory path."""
+
+    @pytest.mark.parametrize("method", [gmres, fgmres])
+    def test_identity_happy_breakdown(self, method):
+        """A = I converges in exactly one iteration via the breakdown path
+        (``H[1,0] == 0``); the passthrough operator also aliases the Krylov
+        basis, which the orthogonalization must not corrupt."""
+        rng = np.random.default_rng(5)
+        b = rng.standard_normal(50)
+        res = method(lambda v: v, b, rtol=1e-12, maxiter=30)
+        assert res.converged
+        assert res.iterations == 1
+        # normalize/denormalize round trip costs at most a couple of ulp
+        assert np.allclose(res.x, b, rtol=1e-14, atol=0)
+
+    @pytest.mark.parametrize("method", [gmres, fgmres])
+    def test_breakdown_mid_cycle(self, method):
+        """An exactly representable solution reached mid-restart must
+        return immediately instead of padding the Hessenberg with zeros."""
+        A = sp.diags([1.0, 2.0, 3.0, 4.0, 5.0]).tocsr()
+        b = np.array([1.0, 0.0, 0.0, 0.0, 2.0])
+        res = method(lambda v: A @ v, b, rtol=1e-13, restart=40, maxiter=40)
+        assert res.converged
+        assert res.iterations <= 2  # Krylov space has dimension 2
+        assert np.allclose(A @ res.x, b, atol=1e-12)
+
+    @pytest.mark.parametrize("method", [gmres, fgmres])
+    def test_zero_operator_no_crash(self, method):
+        """A = 0 makes every Arnoldi column dependent; pre-fix this raised
+        ``LinAlgError: Singular matrix`` out of the triangular solve."""
+        b = np.ones(10)
+        res = method(lambda v: np.zeros_like(v), b, rtol=1e-8, maxiter=25)
+        assert not res.converged
+        assert np.all(np.isfinite(res.x))
+
+    def test_singular_preconditioner_no_crash(self):
+        """A rank-deficient M produces a dependent column (``denom == 0``);
+        the column must be discarded, not solved through."""
+        A, b, _ = spd_system(40)
+        P = np.zeros(40)
+        P[:3] = 1.0  # rank-3 projector
+        res = fgmres(lambda v: A @ v, b, M=lambda v: P * v, rtol=1e-10,
+                     maxiter=50)
+        assert np.all(np.isfinite(res.x))
+
+    def test_bicgstab_early_exit_instrumented(self):
+        """The ``norm(s) <= tol`` half-step exit must still report the
+        iteration to monitors and leave a complete residual history."""
+        # identity system converges on the half step of iteration 0
+        b = np.full(12, 3.0)
+        calls = []
+        res = bicgstab(lambda v: v, b, rtol=1e-10,
+                       monitor=lambda k, r, rn: calls.append((k, rn)))
+        assert res.converged
+        # monitor sees every history entry, initial residual included
+        assert len(calls) == len(res.residuals)
+        assert calls[0][0] == 0
+        # pre-fix: the early exit skipped the final monitor/trace emission
+        assert calls[-1][0] == res.iterations
+        assert calls[-1][1] == res.final_residual
+
+    def test_bicgstab_early_exit_traced(self):
+        """Same path with ``repro.obs`` on: the ksp trace must include the
+        converged half-step iterate, not stop one entry short."""
+        from repro import obs
+        from repro.obs.registry import REGISTRY
+
+        b = np.full(12, 3.0)
+        obs.reset()
+        obs.enable()
+        try:
+            res = bicgstab(lambda v: v, b, rtol=1e-10)
+            trace = [t for t in REGISTRY.traces["ksp"]
+                     if t["solver"] == "bicgstab"]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert res.converged
+        assert len(trace) == len(res.residuals)
+        assert trace[-1]["iteration"] == res.iterations
+        assert trace[-1]["rnorm"] == res.final_residual
+
+    def test_gmres_skips_z_storage(self):
+        """``gmres`` (fixed preconditioner) must not allocate the flexible
+        ``Z`` basis -- that is the point of the non-flexible path."""
+        import tracemalloc
+
+        n, restart = 30_000, 40
+        rng = np.random.default_rng(11)
+        d = 1.0 + rng.random(n)
+        b = rng.standard_normal(n)
+        A = lambda v: d * v
+        M = lambda v: v / d
+
+        def peak(method):
+            tracemalloc.start()
+            method(A, b, M=M, rtol=1e-30, atol=0.0, restart=restart,
+                   maxiter=restart)
+            _, pk = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return pk
+
+        peak_g = peak(gmres)
+        peak_f = peak(fgmres)
+        # the flexible path stores an extra (restart, n) float64 block
+        assert peak_f - peak_g > 0.5 * restart * n * 8
+
+    @pytest.mark.parametrize("method", [gmres, fgmres])
+    def test_fixed_preconditioner_paths_agree(self, method):
+        """Sanity: both delegation paths solve the same preconditioned
+        system to the same tolerance."""
+        A, b, xref = nonsym_system()
+        M = JacobiPreconditioner(A.diagonal())
+        res = method(lambda v: A @ v, b, M=M, rtol=1e-10, maxiter=600)
+        assert res.converged
+        assert np.linalg.norm(res.x - xref) < 1e-6 * np.linalg.norm(xref)
