@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Smoke-check the clean-path cost of the resilience layer.
+
+Two comparisons, both on faultless problems where the machinery must be
+pure overhead:
+
+1. **Ladder + snapshot path**: one resilient time step (``resilient=True``:
+   ``solve_stokes_resilient`` behind the fallback ladder plus the in-memory
+   rollback snapshot) against one plain time step of an identical sinker
+   simulation.
+2. **Residual guards**: ``gcr`` with the divergence/stagnation guards at
+   their defaults against the same solve with both disabled
+   (``dtol=0, stag_window=0``), on a fixed SPD system -- bounding the
+   per-iteration cost of the two scalar compares.
+
+Pairs alternate order so monotone machine drift cannot charge one side;
+the overhead estimate is the smallest of three robust estimators (ratio
+of minima, median pair ratio, ratio of sums) because scheduling noise on
+shared machines is one-sided.  Fails above ``--max-overhead``.
+
+Run:  python benchmarks/check_resilience_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.sim import SimulationConfig
+from repro.sim.sinker import SinkerConfig, make_sinker
+from repro.solvers import gcr
+from repro.stokes import StokesConfig
+
+
+def _sim(resilient: bool):
+    return make_sinker(
+        SinkerConfig(shape=(4, 4, 4), n_spheres=2, radius=0.15,
+                     delta_eta=100.0),
+        SimulationConfig(
+            stokes=StokesConfig(mg_levels=2, coarse_solver="lu"),
+            max_newton=1, resilient=resilient,
+        ),
+    )
+
+
+def step_once(resilient: bool) -> float:
+    sim = _sim(resilient)
+    t0 = time.perf_counter()
+    stats = sim.step()
+    elapsed = time.perf_counter() - t0
+    assert np.isfinite(sim.u).all(), "clean step must stay finite"
+    if resilient:
+        assert stats["retries"] == 0, "clean step must not retry"
+    return elapsed
+
+
+def _spd(n=1200, seed=0):
+    rng = np.random.default_rng(seed)
+    Q = rng.standard_normal((n, n))
+    return Q @ Q.T + n * np.eye(n), rng.standard_normal(n)
+
+
+def gcr_once(guarded: bool, A, b) -> float:
+    kw = {} if guarded else {"dtol": 0.0, "stag_window": 0}
+    t0 = time.perf_counter()
+    res = gcr(lambda v: A @ v, b, rtol=1e-10, maxiter=400, **kw)
+    elapsed = time.perf_counter() - t0
+    assert res.converged
+    return elapsed
+
+
+def measure(label: str, run, rounds: int, max_overhead: float) -> bool:
+    run(False)  # warm up
+    run(True)
+    off, on = [], []
+    for i in range(rounds):
+        if i % 2 == 0:
+            off.append(run(False))
+            on.append(run(True))
+        else:
+            on.append(run(True))
+            off.append(run(False))
+        print(f"[{label}] pair {i}: plain {off[-1]:.3f} s, "
+              f"resilient {on[-1]:.3f} s, ratio {on[-1] / off[-1]:.3f}")
+    pair_ratios = sorted(t_on / t_off for t_on, t_off in zip(on, off))
+    estimates = {
+        "min": min(on) / min(off),
+        "median pair": pair_ratios[len(pair_ratios) // 2],
+        "sum": sum(on) / sum(off),
+    }
+    kind, ratio = min(estimates.items(), key=lambda kv: kv[1])
+    overhead = ratio - 1.0
+    print(f"[{label}] estimates: "
+          + ", ".join(f"{k} {v - 1:+.2%}" for k, v in estimates.items()))
+    print(f"[{label}] clean-path overhead ({rounds} pairs, {kind} "
+          f"estimator): {100 * overhead:+.2f}% "
+          f"(limit {100 * max_overhead:.0f}%)")
+    return overhead <= max_overhead
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--rounds", type=int, default=6,
+                    help="number of plain/resilient pairs per comparison")
+    ap.add_argument("--max-overhead", type=float, default=0.05,
+                    help="maximum tolerated fractional slowdown (default 5%%)")
+    args = ap.parse_args(argv)
+
+    ok = measure("timeloop", step_once, args.rounds, args.max_overhead)
+
+    A, b = _spd()
+    ok &= measure("gcr-guards", lambda guarded: gcr_once(guarded, A, b),
+                  args.rounds, args.max_overhead)
+
+    if not ok:
+        print("FAIL: resilience clean-path overhead above limit")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,13 @@ conditions, and run the fieldsplit + geometric-multigrid solver.
 
 Run:  python examples/quickstart.py
 
+With ``--inject-fault`` a deterministic NaN fault is injected into the
+preconditioner mid-run and a second one into the Newton residual two steps
+later: the first drives the linear solve to ``DIVERGED_NAN`` and down the
+preconditioner fallback ladder, the second triggers a time-step rollback
+with dt halving -- a live demo of the resilience layer recovering a run
+that would otherwise die.
+
 With ``--log-view`` the run is profiled through ``repro.obs`` (the
 PETSc-style observability layer): a few material-point time steps ride
 along so the report spans every layer -- matrix-free operator applies
@@ -72,6 +79,55 @@ def log_view_run(trace_path: str = "quickstart_trace.json") -> None:
     obs.reset()
 
 
+def inject_fault_run() -> None:
+    """Survive two injected faults: PC fallback, then dt rollback."""
+    from repro import FaultInjector, SimulationConfig, obs
+    from repro.sim.sinker import SinkerConfig, make_sinker
+    from repro.stokes.fieldsplit import FieldSplitPreconditioner
+    from repro.stokes.operators import StokesOperator
+
+    obs.enable()
+    sim = make_sinker(
+        SinkerConfig(shape=(4, 4, 4)),
+        SimulationConfig(
+            stokes=StokesConfig(mg_levels=2, coarse_solver="lu"),
+            resilient=True,
+        ),
+    )
+    nsteps = 4
+    with FaultInjector() as fi:
+        # step 2: every PC apply of one linear solve returns NaN -> the
+        # outer Krylov solve diverges and the fallback ladder takes over
+        fi.poison_nan(FieldSplitPreconditioner, "__call__", mode="all",
+                      limit=1, when=lambda: sim.step_index == 1,
+                      label="nan:preconditioner")
+        # step 4: a NaN Newton residual forces a hard nonlinear failure ->
+        # the time loop restores its snapshot and retries with dt/2
+        fi.poison_nan(StokesOperator, "residual", mode="all", limit=1,
+                      when=lambda: sim.step_index == 3,
+                      label="nan:newton-residual")
+        for _ in range(nsteps):
+            stats = sim.step()
+            extra = ""
+            if stats["fallback_events"]:
+                rungs = " -> ".join(e["next"] for e in stats["fallback_events"])
+                extra = f"  [fallback: {rungs}]"
+            if stats["retries"]:
+                extra += (f"  [rolled back x{stats['retries']}, "
+                          f"dt_scale={stats['dt_scale']:.2g}]")
+            print(f"step {sim.step_index}: newton={stats['newton_reason']}"
+                  f"{extra}")
+    assert {f["label"] for f in fi.fired} == {"nan:preconditioner",
+                                              "nan:newton-residual"}
+    assert sim.step_index == nsteps
+    assert np.isfinite(sim.u).all() and np.isfinite(sim.p).all()
+    recovery = [t["event"] for t in obs.REGISTRY.traces["resilience"]]
+    print(f"\nrun completed {nsteps}/{nsteps} steps despite both faults; "
+          f"recovery events: {recovery}")
+    obs.disable()
+    obs.reset()
+
+
 def main(workers: int | None = None):
     mesh = StructuredMesh((8, 8, 8), order=2)  # Q2 velocity, P1disc pressure
 
@@ -112,7 +168,14 @@ if __name__ == "__main__":
         help="shared-memory workers for the element kernels (default: "
              "$REPRO_WORKERS or serial); results are identical to serial",
     )
+    parser.add_argument(
+        "--inject-fault", action="store_true",
+        help="inject deterministic NaN faults into a short run and show "
+             "the fallback ladder and time-step rollback recovering it",
+    )
     args = parser.parse_args()
     main(workers=args.workers)
     if args.log_view:
         log_view_run()
+    if args.inject_fault:
+        inject_fault_run()

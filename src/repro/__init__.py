@@ -49,6 +49,7 @@ from .stokes import (
     StokesConfig,
     StokesSolution,
     solve_stokes,
+    solve_stokes_resilient,
     FieldSplitPreconditioner,
     eta_at_quadrature,
 )
@@ -63,6 +64,12 @@ from .rheology import (
     DruckerPrager,
 )
 from .sim import Simulation, SimulationConfig, make_sinker, make_rifting
+from .resilience import (
+    BreakdownError,
+    ConvergedReason,
+    FallbackLadder,
+    FaultInjector,
+)
 from . import obs
 
 __all__ = [
@@ -83,6 +90,7 @@ __all__ = [
     "StokesConfig",
     "StokesSolution",
     "solve_stokes",
+    "solve_stokes_resilient",
     "FieldSplitPreconditioner",
     "eta_at_quadrature",
     "build_gmg",
@@ -105,6 +113,10 @@ __all__ = [
     "ConstantViscosity",
     "ArrheniusViscosity",
     "DruckerPrager",
+    "BreakdownError",
+    "ConvergedReason",
+    "FallbackLadder",
+    "FaultInjector",
     "Simulation",
     "SimulationConfig",
     "make_sinker",

@@ -45,6 +45,7 @@ from .trace import (
     snapshot,
     trace_ksp,
     trace_mg,
+    trace_resilience,
     trace_snes,
     validate,
     write_json,
@@ -57,5 +58,5 @@ __all__ = [
     "log_event_seconds",
     "log_view", "roofline_fraction",
     "SCHEMA", "snapshot", "validate", "write_json", "attach_monitor",
-    "trace_ksp", "trace_snes", "trace_mg",
+    "trace_ksp", "trace_snes", "trace_mg", "trace_resilience",
 ]

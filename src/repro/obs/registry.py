@@ -107,7 +107,9 @@ class Registry:
         self.events: dict[tuple[str, str], EventRecord] = {}
         self.stages: dict[str, StageRecord] = {}
         #: convergence traces appended by :mod:`repro.obs.trace`
-        self.traces: dict[str, list[dict]] = {"ksp": [], "snes": [], "mg": []}
+        self.traces: dict[str, list[dict]] = {
+            "ksp": [], "snes": [], "mg": [], "resilience": [],
+        }
         #: monitor exports attached via :func:`repro.obs.trace.attach_monitor`
         self.monitors: dict[str, dict] = {}
         self._stage_stack: list[str] = []

@@ -15,6 +15,12 @@ Three trace streams mirror the paper's solver diagnostics:
     (``{"cycle", "level", "phase", "rnorm", "rnorm_in"}``); the
     ``postsmooth`` phase costs an extra operator apply and is only
     recorded under ``enable(mg_post_residuals=True)``.
+``resilience``
+    One record per recovery action (``{"event", ...}``): preconditioner
+    fallback downgrades, time-step rollbacks with dt halving, dt
+    restoration, executor crash respawns -- the audit trail of how a run
+    survived (appended by :mod:`repro.resilience` and
+    :mod:`repro.sim.timeloop`).
 
 :func:`snapshot` exports everything -- stages, events, traces, attached
 monitors -- as one JSON document with a stable ``"schema"`` tag; the
@@ -89,6 +95,19 @@ def trace_mg(
     })
 
 
+def trace_resilience(event: str, **fields) -> None:
+    """Record one recovery action (fallback, rollback, respawn, ...).
+
+    ``fields`` are free-form JSON scalars; ``event`` names the action.
+    Like every trace appender this is a no-op while profiling is off --
+    the recovery itself happens regardless, only the audit trail is
+    conditional.
+    """
+    if not STATE.enabled:
+        return
+    REGISTRY.traces["resilience"].append({"event": str(event), **fields})
+
+
 def attach_monitor(name: str, data: dict) -> None:
     """Attach a monitor export (e.g. ``FieldSplitMonitor.as_dict()`` or
     ``IterationLog.as_dict()``) so it rides along in :func:`snapshot` under
@@ -134,6 +153,7 @@ _TRACE_FIELDS = {
     "ksp": {"solver": str, "solve": int, "iteration": int, "rnorm": float},
     "snes": {"solve": int, "iteration": int, "fnorm": float},
     "mg": {"cycle": int, "level": int, "phase": str, "rnorm": float},
+    "resilience": {"event": str},
 }
 
 

@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..obs import registry as _obs
+from ..obs.trace import trace_resilience
 from .decomposition import BlockDecomposition
 
 __all__ = [
@@ -96,6 +97,7 @@ class ExecutorStats:
     bytes_in: int = 0      # input-vector bytes shipped to workers
     bytes_out: int = 0     # partial-result bytes shipped back
     respawns: int = 0
+    crashes: int = 0       # WorkerCrash events absorbed by auto-retry
 
     def as_dict(self) -> dict:
         return {
@@ -107,6 +109,7 @@ class ExecutorStats:
             "bytes_in": int(self.bytes_in),
             "bytes_out": int(self.bytes_out),
             "respawns": int(self.respawns),
+            "crashes": int(self.crashes),
         }
 
 
@@ -265,9 +268,18 @@ class ParallelExecutor:
     backend:
         ``"thread"``, ``"process"``, ``"serial"``, or ``"auto"`` (threads);
         ``None`` reads ``$REPRO_PARALLEL_BACKEND``.
+    retry_on_crash:
+        Absorb one :class:`WorkerCrash` per dispatch by re-running it
+        against a freshly spawned pool (the determinism contract makes the
+        retry bit-identical: every partial is recomputed from the same
+        immutable state and reduced in the same order).  A second crash in
+        the same dispatch propagates -- that is a reproducible kernel
+        fault, not a transient worker death.
     """
 
-    def __init__(self, workers: int | None = None, backend: str | None = None):
+    def __init__(self, workers: int | None = None, backend: str | None = None,
+                 retry_on_crash: bool = True):
+        self.retry_on_crash = bool(retry_on_crash)
         self.workers = resolve_workers(workers)
         backend = resolve_backend(backend)
         if backend == "auto":
@@ -277,6 +289,7 @@ class ParallelExecutor:
         self.backend = backend
         self.stats = ExecutorStats()
         self._pool = None
+        self._crashed = False           # a WorkerCrash dropped the pool
         self._fork_known: set = set()   # (token, version) pairs seen by pool
         self._shm_in = _ShmBlock("in")
         self._shm_out = _ShmBlock("out")
@@ -302,9 +315,11 @@ class ParallelExecutor:
     def _respawn_pool(self) -> None:
         import multiprocessing
 
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
+        if self._pool is not None or self._crashed:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
             self.stats.respawns += 1
+            self._crashed = False
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=multiprocessing.get_context("fork"),
@@ -346,7 +361,20 @@ class ParallelExecutor:
             if self.backend == "thread":
                 result = self._dispatch_threads(state, method, spans, u, sizes, mode)
             else:
-                result = self._dispatch_processes(state, method, spans, u, sizes, mode)
+                try:
+                    result = self._dispatch_processes(state, method, spans, u, sizes, mode)
+                except WorkerCrash:
+                    if not self.retry_on_crash:
+                        raise
+                    # the crash handler already dropped the pool; one
+                    # re-dispatch forks a fresh one and recomputes every
+                    # partial from the same state -> bit-identical result
+                    self.stats.crashes += 1
+                    t0 = time.perf_counter()
+                    result = self._dispatch_processes(state, method, spans, u, sizes, mode)
+                    elapsed = time.perf_counter() - t0
+                    _obs.log_event_seconds("ResilienceRespawn", elapsed)
+                    trace_resilience("respawn", method=str(method))
         self.stats.dispatches += 1
         self.stats.tasks += len(spans)
         self.stats.bytes_in += u.nbytes
@@ -441,6 +469,7 @@ class ParallelExecutor:
                     busies.append(b)
         except BrokenExecutor as err:
             self._pool = None
+            self._crashed = True
             self._fork_known = set()
             raise WorkerCrash(
                 f"a worker process died while applying {method!r} "

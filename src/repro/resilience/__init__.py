@@ -1,0 +1,53 @@
+"""``repro.resilience``: the solver-failure taxonomy and recovery layer.
+
+Four pieces, layered the way PETSc layers them (see DESIGN.md, "Failure
+taxonomy and recovery"):
+
+* :mod:`~repro.resilience.reasons` -- the :class:`ConvergedReason` enum
+  every Krylov/Newton entry point returns via its result object, plus the
+  :class:`BreakdownError` recoverable exception;
+* :mod:`~repro.resilience.guard` -- cheap per-iteration NaN/Inf,
+  divergence-tolerance, and stagnation checks on residual norms;
+* :mod:`~repro.resilience.fallback` -- the configurable preconditioner
+  downgrade ladder (matrix-free GMG -> assembled GMG -> SA-AMG -> Jacobi
+  restart) used by ``solve_stokes_resilient``;
+* :mod:`~repro.resilience.inject` -- deterministic fault injection
+  (NaN matvecs, singular diagonals, worker kills, truncated checkpoints)
+  for the adversarial test suite and the quickstart demo.
+
+Time-loop self-healing (snapshot + dt rollback) lives with the time loop
+in :mod:`repro.sim.timeloop`; it consumes this package's reasons and
+records through the same obs trace stream.
+"""
+
+from .reasons import (
+    BreakdownError,
+    ConvergedReason,
+    converged_reason,
+    nonfinite,
+)
+from .guard import DEFAULT_DTOL, ResidualGuard
+from .fallback import (
+    DEFAULT_RETRY_ON,
+    FallbackLadder,
+    RECOVERABLE,
+    Rung,
+    default_rungs,
+)
+from .inject import FaultInjector, WorkerKiller
+
+__all__ = [
+    "BreakdownError",
+    "ConvergedReason",
+    "converged_reason",
+    "nonfinite",
+    "DEFAULT_DTOL",
+    "ResidualGuard",
+    "DEFAULT_RETRY_ON",
+    "FallbackLadder",
+    "RECOVERABLE",
+    "Rung",
+    "default_rungs",
+    "FaultInjector",
+    "WorkerKiller",
+]

@@ -1,0 +1,222 @@
+"""Deterministic fault injection for the resilience test suite.
+
+Production lithosphere runs die in ways unit tests never exercise: a NaN
+escaping a yield-condition evaluation mid-run, a near-degenerate coarse
+level handing the smoother a singular diagonal, a worker process OOM-killed
+mid-dispatch, a checkpoint truncated by a dying filesystem.  This module
+makes each of those failures *reproducible*: faults are installed by
+monkey-patching a named method with a counting wrapper, fire at explicit
+call numbers (or caller-supplied predicates), and disarm deterministically,
+so a test can assert both the failure and the recovery path byte for byte.
+
+Nothing here runs in production paths: when no :class:`FaultInjector` is
+active the patched methods do not exist and the clean path pays zero cost.
+
+Typical use::
+
+    with FaultInjector() as fi:
+        fi.poison_nan(StokesOperator, "apply", calls={3})
+        sol = solve_stokes_resilient(problem, cfg)
+    assert fi.fired and sol.converged
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class _Patch:
+    """One installed fault: where it lives and when it fires."""
+
+    owner: object
+    method: str
+    original: Callable
+    action: Callable          # result -> result, or raises
+    calls: set[int] | None    # absolute call numbers that fire (1-based)
+    when: Callable | None     # extra predicate; both must hold
+    remaining: int | None     # firings left (None = unlimited)
+    label: str
+    count: int = 0
+
+
+class FaultInjector:
+    """Context manager installing (and always removing) deterministic faults.
+
+    Faults are identified by ``label`` in :attr:`fired`, a chronological
+    list of ``{"label", "call"}`` records the tests assert against.
+    """
+
+    def __init__(self):
+        self._patches: list[_Patch] = []
+        self.fired: list[dict] = []
+
+    # -- lifecycle ------------------------------------------------------ #
+    def __enter__(self) -> "FaultInjector":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.remove_all()
+        return False
+
+    def remove_all(self) -> None:
+        """Restore every patched method (idempotent)."""
+        while self._patches:
+            p = self._patches.pop()
+            setattr(p.owner, p.method, p.original)
+
+    # -- core installer ------------------------------------------------- #
+    def install(
+        self,
+        owner: object,
+        method: str,
+        action: Callable,
+        calls: set[int] | None = None,
+        when: Callable | None = None,
+        limit: int | None = None,
+        label: str | None = None,
+    ) -> None:
+        """Patch ``owner.method`` so ``action(result)`` replaces the result
+        (or raises) whenever the trigger condition holds.
+
+        ``owner`` may be a class (fault applies to every instance) or a
+        single object.  ``calls`` is a set of 1-based call numbers;
+        ``when`` an argument-free predicate; both must hold when given.
+        ``limit`` bounds the number of firings (``None`` = unlimited).
+        """
+        original = getattr(owner, method)
+        patch = _Patch(
+            owner=owner, method=method, original=original, action=action,
+            calls=set(calls) if calls is not None else None, when=when,
+            remaining=limit, label=label or f"{method}",
+        )
+
+        def wrapper(*args, **kwargs):
+            patch.count += 1
+            fire = (
+                (patch.remaining is None or patch.remaining > 0)
+                and (patch.calls is None or patch.count in patch.calls)
+                and (patch.when is None or patch.when())
+            )
+            result = original(*args, **kwargs)
+            if fire:
+                if patch.remaining is not None:
+                    patch.remaining -= 1
+                self.fired.append({"label": patch.label, "call": patch.count})
+                return patch.action(result)
+            return result
+
+        setattr(owner, method, wrapper)
+        self._patches.append(patch)
+
+    # -- concrete faults ------------------------------------------------ #
+    def poison_nan(self, owner: object, method: str, calls: set[int] | None = None,
+                   when: Callable | None = None, limit: int | None = None,
+                   mode: str = "first", label: str | None = None) -> None:
+        """Corrupt the (array) return value with NaNs when triggered.
+
+        ``mode="first"`` poisons a single entry -- the sneaky production
+        failure where one quadrature point misbehaves; ``mode="all"``
+        replaces the whole array.
+        """
+        if mode not in ("first", "all"):
+            raise ValueError(f"mode must be 'first' or 'all', got {mode!r}")
+
+        def action(result):
+            out = np.array(result, dtype=np.float64, copy=True)
+            if mode == "all":
+                out[...] = np.nan
+            else:
+                out.reshape(-1)[0] = np.nan
+            return out
+
+        self.install(owner, method, action, calls=calls, when=when,
+                     limit=limit, label=label or f"nan:{method}")
+
+    def singular_diagonal(self, owner: object, method: str = "diagonal",
+                          calls: set[int] | None = None,
+                          when: Callable | None = None,
+                          limit: int | None = None,
+                          fraction: float = 0.1,
+                          label: str | None = None) -> None:
+        """Zero the leading ``fraction`` of a returned diagonal.
+
+        A zero (or negative) Jacobi diagonal is exactly what a degenerate
+        coarse level produces; the Chebyshev smoother rejects it at setup,
+        which is the failure the fallback ladder must absorb.
+        """
+
+        def action(result):
+            out = np.array(result, dtype=np.float64, copy=True)
+            k = max(1, int(out.size * fraction))
+            out.reshape(-1)[:k] = 0.0
+            return out
+
+        self.install(owner, method, action, calls=calls, when=when,
+                     limit=limit, label=label or f"singular:{method}")
+
+    def fail_with(self, owner: object, method: str, exc: Exception,
+                  calls: set[int] | None = None, when: Callable | None = None,
+                  limit: int | None = None, label: str | None = None) -> None:
+        """Raise ``exc`` instead of returning, when triggered."""
+
+        def action(_result):
+            raise exc
+
+        self.install(owner, method, action, calls=calls, when=when,
+                     limit=limit, label=label or f"raise:{method}")
+
+    # -- file faults ----------------------------------------------------- #
+    @staticmethod
+    def truncate_file(path: str, keep_fraction: float = 0.5) -> int:
+        """Truncate ``path`` to a fraction of its size; returns bytes kept.
+
+        Models a checkpoint write cut short by a crash or full disk (the
+        case the atomic-write protocol in :mod:`repro.sim.checkpoint`
+        prevents, and the validated load must survive).
+        """
+        size = os.path.getsize(path)
+        keep = int(size * keep_fraction)
+        with open(path, "r+b") as fh:
+            fh.truncate(keep)
+        return keep
+
+
+class WorkerKiller:
+    """Executor state whose kernel kills the worker process exactly once.
+
+    Wraps a real state object: the first span evaluated *after* the
+    sentinel file is claimed calls ``os._exit`` (the un-catchable death the
+    executor must treat as :class:`~repro.parallel.executor.WorkerCrash`);
+    every later call -- including the post-respawn retry of the same span
+    -- delegates to the wrapped kernel, so the recovered result is
+    bit-identical to the never-crashed one.
+
+    The sentinel lives on the filesystem because a forked worker's memory
+    dies with it: only a cross-process token survives the respawn.
+    """
+
+    def __init__(self, state: object, method: str, sentinel_path: str,
+                 exit_code: int = 17):
+        self._state = state
+        self._method = method
+        self._sentinel = sentinel_path
+        self._exit_code = int(exit_code)
+
+    @property
+    def _parallel_state_version(self) -> int:
+        return getattr(self._state, "_parallel_state_version", 0)
+
+    def kernel(self, u: np.ndarray, s: int, e: int) -> np.ndarray:
+        try:
+            fd = os.open(self._sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            os._exit(self._exit_code)
+        return getattr(self._state, self._method)(u, s, e)

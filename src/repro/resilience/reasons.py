@@ -1,0 +1,83 @@
+"""PETSc-style convergence reasons and the breakdown exception.
+
+The paper's production runs (SS V) take 1500-2000 time steps through a
+strongly nonlinear visco-plastic rheology.  PETSc survives individual
+solver failures because every ``KSPSolve``/``SNESSolve`` reports a typed
+``ConvergedReason`` instead of either raising or silently returning
+garbage; callers (fallback preconditioners, time-step controllers) branch
+on it.  This module is that taxonomy for the from-scratch stack:
+
+* positive values mean the solve succeeded (and say which tolerance won);
+* negative values mean it failed (and say how);
+* zero (``CONVERGED_ITERATING``) is the PETSc convention for "no reason
+  recorded", used only as a sentinel default.
+
+Guards are intentionally cheap: every Krylov method already computes a
+residual norm per iteration, and NaN/Inf in any component of the iterate
+propagates into that norm, so non-finiteness is detected by two float
+comparisons (``rnorm != rnorm`` catches NaN, ``rnorm == inf`` catches
+overflow) with no extra passes over the vectors.
+"""
+
+from __future__ import annotations
+
+import enum
+
+_INF = float("inf")
+
+
+class ConvergedReason(enum.IntEnum):
+    """Why an iterative solve stopped (sign convention: PETSc's)."""
+
+    #: sentinel: the solve is still running / no reason was recorded
+    CONVERGED_ITERATING = 0
+    #: relative tolerance ``rnorm <= rtol * ||b||`` met
+    CONVERGED_RTOL = 2
+    #: absolute tolerance ``rnorm <= atol`` met
+    CONVERGED_ATOL = 3
+    #: iteration budget exhausted without meeting the tolerance
+    DIVERGED_ITS = -3
+    #: residual grew past ``dtol * ||r0||``
+    DIVERGED_DTOL = -4
+    #: the recurrence broke down (zero inner product, singular block, ...)
+    DIVERGED_BREAKDOWN = -5
+    #: a NaN or Inf appeared in a residual norm or operator output
+    DIVERGED_NAN = -6
+    #: no residual reduction over the stagnation window
+    DIVERGED_STAGNATION = -7
+
+    @property
+    def is_converged(self) -> bool:
+        return self.value > 0
+
+    @property
+    def is_diverged(self) -> bool:
+        return self.value < 0
+
+
+class BreakdownError(RuntimeError):
+    """A numerical component failed in a way its caller can recover from.
+
+    Raised by guarded kernels (e.g. the Chebyshev smoother producing a
+    non-finite iterate) and by the fallback/rollback engines when every
+    recovery option is exhausted.  Carries the :class:`ConvergedReason`
+    that classified the failure so policy code never parses messages.
+    """
+
+    def __init__(self, message: str,
+                 reason: ConvergedReason = ConvergedReason.DIVERGED_BREAKDOWN):
+        super().__init__(message)
+        self.reason = reason
+
+
+def nonfinite(value: float) -> bool:
+    """True when ``value`` is NaN or +-Inf (two comparisons, no numpy call)."""
+    return value != value or value == _INF or value == -_INF
+
+
+def converged_reason(rnorm: float, rtol_bound: float,
+                     atol: float) -> ConvergedReason:
+    """Which tolerance a converged solve satisfied (ATOL wins when binding)."""
+    if atol > 0.0 and rnorm <= atol and atol >= rtol_bound:
+        return ConvergedReason.CONVERGED_ATOL
+    return ConvergedReason.CONVERGED_RTOL

@@ -6,9 +6,30 @@ mesh coordinates (ALE), velocity/pressure, temperature, simulation clock,
 and the complete material point set including extra history fields.
 Static configuration (materials, boundary conditions, solver settings) is
 code, not state, and is reconstructed by the caller.
+
+Robustness contract (resilience layer):
+
+* **Atomic saves** -- the archive is written to a temporary file in the
+  *same directory* (same filesystem, so the final rename cannot cross a
+  mount), flushed and fsynced, then moved into place with
+  :func:`os.replace`.  A crash mid-write leaves the previous checkpoint
+  intact; readers never observe a half-written file under the final name.
+* **Validated loads** -- :func:`load_checkpoint` materializes and
+  validates the *entire* payload before mutating ``sim``: ``np.load`` is
+  lazy and a truncated zip member only fails when accessed, so a naive
+  field-by-field restore can corrupt half the state and then raise.  A
+  truncated/unreadable file raises :class:`ValueError` with ``sim``
+  untouched.
+* The same ``state_dict`` / ``restore_state`` pair backs the time loop's
+  in-memory rollback snapshots, so file and memory restore paths cannot
+  drift apart.
 """
 
 from __future__ import annotations
+
+import os
+import zipfile
+import zlib
 
 import numpy as np
 
@@ -16,37 +37,67 @@ from ..mpm.points import MaterialPoints
 
 FORMAT_VERSION = 1
 
+#: every key a valid checkpoint must carry (``point_field_*`` are extra)
+REQUIRED_KEYS = (
+    "format_version",
+    "mesh_shape",
+    "mesh_coords",
+    "u",
+    "p",
+    "T",
+    "T_is_none",
+    "time",
+    "step_index",
+    "points_x",
+    "points_lithology",
+    "points_plastic_strain",
+    "points_el",
+    "points_xi",
+)
 
-def save_checkpoint(path: str, sim) -> None:
-    """Write the evolving state of a :class:`repro.sim.Simulation`."""
-    pts = sim.points
-    extra = {f"point_field_{k}": pts.field(k) for k in pts.field_names}
-    np.savez_compressed(
-        path,
-        format_version=FORMAT_VERSION,
-        mesh_shape=np.array(sim.mesh.shape),
-        mesh_coords=sim.mesh.coords,
-        u=sim.u,
-        p=sim.p,
-        T=sim.T if sim.T is not None else np.array([]),
-        time=sim.time,
-        step_index=sim.step_index,
-        points_x=pts.x,
-        points_lithology=pts.lithology,
-        points_plastic_strain=pts.plastic_strain,
-        points_el=pts.el,
-        points_xi=pts.xi,
-        **extra,
-    )
+#: keys older (pre-``T_is_none``) archives may omit, with their fallback
+_OPTIONAL_DEFAULTS = {"T_is_none": None}
 
 
-def load_checkpoint(path: str, sim) -> None:
-    """Restore state written by :func:`save_checkpoint` into ``sim``.
+def state_dict(sim) -> dict:
+    """The evolving state of a :class:`repro.sim.Simulation` as arrays.
 
-    ``sim`` must have been constructed with the same mesh topology and
-    materials; the stored shapes are validated.
+    The single source of truth for both file checkpoints and the time
+    loop's in-memory rollback snapshots.  All arrays are copies -- the
+    snapshot stays valid while the simulation keeps evolving.
+
+    ``T is None`` (no energy solve) is distinguishable from a legitimately
+    empty temperature array via the explicit ``T_is_none`` flag; the old
+    ``T.size == 0`` convention collapsed the two and made the round-trip
+    lossy.
     """
-    data = np.load(path)
+    pts = sim.points
+    data = {
+        "format_version": np.int64(FORMAT_VERSION),
+        "mesh_shape": np.array(sim.mesh.shape),
+        "mesh_coords": sim.mesh.coords.copy(),
+        "u": sim.u.copy(),
+        "p": sim.p.copy(),
+        "T": np.array([]) if sim.T is None else sim.T.copy(),
+        "T_is_none": np.bool_(sim.T is None),
+        "time": np.float64(sim.time),
+        "step_index": np.int64(sim.step_index),
+        "points_x": pts.x.copy(),
+        "points_lithology": pts.lithology.copy(),
+        "points_plastic_strain": pts.plastic_strain.copy(),
+        "points_el": pts.el.copy(),
+        "points_xi": pts.xi.copy(),
+    }
+    for k in pts.field_names:
+        data[f"point_field_{k}"] = pts.field(k).copy()
+    return data
+
+
+def _validate(data: dict, sim) -> None:
+    """Check a materialized payload against ``sim`` before any mutation."""
+    for key in REQUIRED_KEYS:
+        if key not in data and key not in _OPTIONAL_DEFAULTS:
+            raise ValueError(f"checkpoint missing required key {key!r}")
     version = int(data["format_version"])
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported checkpoint version {version}")
@@ -55,20 +106,39 @@ def load_checkpoint(path: str, sim) -> None:
         raise ValueError(
             f"checkpoint mesh shape {shape} != simulation mesh {sim.mesh.shape}"
         )
-    sim.mesh.set_coords(data["mesh_coords"])
-    sim.u = data["u"].copy()
-    sim.p = data["p"].copy()
-    T = data["T"]
-    sim.T = T.copy() if T.size else None
+    for key, ref in (("u", sim.u), ("p", sim.p)):
+        if data[key].shape != ref.shape:
+            raise ValueError(
+                f"checkpoint field {key!r} has shape {data[key].shape}, "
+                f"expected {ref.shape}"
+            )
+
+
+def restore_state(sim, data: dict) -> None:
+    """Install a validated :func:`state_dict` payload into ``sim``.
+
+    Used by both :func:`load_checkpoint` and the time loop's rollback;
+    callers must pass a fully materialized dict (no lazy npz handles).
+    """
+    _validate(data, sim)
+    sim.mesh.set_coords(np.array(data["mesh_coords"]))
+    sim.u = np.array(data["u"])
+    sim.p = np.array(data["p"])
+    T_is_none = data.get("T_is_none")
+    if T_is_none is None:
+        # pre-flag archive: fall back to the old (lossy) size convention
+        T_is_none = data["T"].size == 0
+    sim.T = None if bool(T_is_none) else np.array(data["T"])
     sim.time = float(data["time"])
     sim.step_index = int(data["step_index"])
-    pts = MaterialPoints(data["points_x"], data["points_lithology"])
-    pts.plastic_strain = data["points_plastic_strain"].copy()
-    pts.el = data["points_el"].copy()
-    pts.xi = data["points_xi"].copy()
-    for key in data.files:
+    pts = MaterialPoints(np.array(data["points_x"]),
+                         np.array(data["points_lithology"]))
+    pts.plastic_strain = np.array(data["points_plastic_strain"])
+    pts.el = np.array(data["points_el"])
+    pts.xi = np.array(data["points_xi"])
+    for key in data:
         if key.startswith("point_field_"):
-            pts.add_field(key[len("point_field_"):], data[key])
+            pts.add_field(key[len("point_field_"):], np.array(data[key]))
     sim.points = pts
     # caches keyed on geometry must be rebuilt against the restored coords
     sim._B = None
@@ -76,3 +146,44 @@ def load_checkpoint(path: str, sim) -> None:
         sim.energy.mesh.set_coords(
             sim.mesh.coords[sim.mesh.corner_node_lattice()]
         )
+
+
+def save_checkpoint(path: str, sim) -> None:
+    """Atomically write the evolving state of a simulation to ``path``.
+
+    ``numpy`` appends ``.npz`` when the name lacks it; the temp-file dance
+    resolves the final name first so the rename target is exact.
+    """
+    final = path if path.endswith(".npz") else path + ".npz"
+    tmp = final + f".tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **state_dict(sim))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+def load_checkpoint(path: str, sim) -> None:
+    """Restore state written by :func:`save_checkpoint` into ``sim``.
+
+    ``sim`` must have been constructed with the same mesh topology and
+    materials; the stored shapes are validated.  The whole payload is read
+    and checked *before* the first mutation, so a truncated or corrupt
+    file raises :class:`ValueError` and leaves ``sim`` exactly as it was.
+    """
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    try:
+        with np.load(path, allow_pickle=False) as handle:
+            # materialize every member now: np.load is lazy and truncated
+            # zip members raise only on access
+            data = {key: np.array(handle[key]) for key in handle.files}
+    except (OSError, ValueError, zipfile.BadZipFile, zlib.error, EOFError) as err:
+        raise ValueError(
+            f"checkpoint {path!r} is unreadable or truncated: {err}"
+        ) from err
+    restore_state(sim, data)

@@ -36,9 +36,22 @@ from ..mpm.location import locate_points
 from ..mpm.migration import populate_empty_cells
 from ..mpm.projection import project_to_quadrature
 from ..obs import registry as _obs
+from ..obs.trace import trace_resilience
+from ..resilience.reasons import BreakdownError, ConvergedReason
 from ..solvers.nonlinear import newton
 from ..stokes.operators import StokesProblem
-from ..stokes.solve import StokesConfig, solve_stokes
+from ..stokes.solve import StokesConfig, solve_stokes, solve_stokes_resilient
+from .checkpoint import restore_state, state_dict
+
+#: nonlinear-solve outcomes that trigger a rollback: hard divergence only.
+#: ``DIVERGED_ITS`` is deliberately excluded -- Newton with the rifting
+#: budget (max 5 steps) routinely exhausts its iterations on a healthy
+#: visco-plastic step while leaving a perfectly usable finite iterate.
+_HARD_DIVERGED = frozenset({
+    ConvergedReason.DIVERGED_NAN,
+    ConvergedReason.DIVERGED_DTOL,
+    ConvergedReason.DIVERGED_BREAKDOWN,
+})
 from .fields import (
     pressure_at_points,
     strain_invariant_at_points,
@@ -69,6 +82,16 @@ class SimulationConfig:
     free_surface: bool = False
     min_points_per_element: int = 2
     thermal_kappa: float = 0.0  # 0 disables the energy solve
+    #: self-healing time loop: route linear solves through the fallback
+    #: ladder and retry a hard-diverged step from an in-memory snapshot
+    #: with a reduced dt (see DESIGN.md, "Failure taxonomy and recovery")
+    resilient: bool = False
+    #: rollback attempts per step before giving up (resilient mode)
+    max_step_retries: int = 3
+    #: dt multiplier applied on each rollback (geometric back-off)
+    dt_backoff: float = 0.5
+    #: consecutive clean steps before one back-off factor is undone
+    dt_recover_after: int = 2
 
 
 class Simulation:
@@ -125,6 +148,11 @@ class Simulation:
         self.step_index = 0
         self.log = IterationLog()
         self.last_yielded_fraction = 0.0
+        # resilience state: current dt reduction and the clean-step count
+        # driving its geometric recovery
+        self._dt_scale = 1.0
+        self._clean_steps = 0
+        self._step_fallback_events: list[dict] = []
         self._B = None
         self._B_coords_version = -1
         self.energy = None
@@ -239,13 +267,17 @@ class Simulation:
             from dataclasses import replace
 
             rtol = cfg.linear_rtol if cfg.linear_rtol is not None else max(rtol_lin, 1e-10)
-            sol = solve_stokes(
+            solve = solve_stokes_resilient if cfg.resilient else solve_stokes
+            sol = solve(
                 pb,
                 replace(cfg.stokes, rtol=rtol),
                 velocity_operator=vel_op,
                 rhs=F,
                 divergence=B,
             )
+            events = sol.extra.get("fallback_events")
+            if events:
+                self._step_fallback_events.extend(events)
             return np.concatenate([sol.u, sol.p]), sol.iterations
 
         x0 = np.concatenate([self.u, self.p])
@@ -280,15 +312,18 @@ class Simulation:
             return np.inf
         return self.config.cfl * float(h.min()) / float(vmax)
 
-    def step(self, dt: float | None = None) -> dict:
-        """Advance one coupled time step; returns a stats dict.
+    def _advance(self, dt: float | None = None) -> dict:
+        """One coupled time step (no retry logic); returns a stats dict.
 
         Each phase runs under its own ``repro.obs`` stage (nested in
         ``TimeStep``), so a ``-log_view`` report splits the step the way
-        the paper's per-phase timings do.
+        the paper's per-phase timings do.  The resolved dt (given or CFL)
+        is multiplied by the rollback engine's ``_dt_scale``, which is 1.0
+        outside resilient mode.
         """
         cfg = self.config
         t0 = time.perf_counter()
+        self._step_fallback_events = []
         with _obs.stage("TimeStep"):
             with _obs.stage("StokesNonlinear"):
                 result = self.solve_stokes_nonlinear()
@@ -296,6 +331,7 @@ class Simulation:
                 dt = self.stable_dt()
                 if not np.isfinite(dt):
                     dt = 0.0  # no flow yet: nothing to advect
+            dt = dt * self._dt_scale
 
             # plastic strain accumulates at yielded points
             with _obs.stage("PlasticUpdate"):
@@ -350,11 +386,86 @@ class Simulation:
             "newton_iterations": result.iterations,
             "krylov_iterations": result.total_linear_iterations,
             "newton_converged": result.converged,
+            "newton_reason": result.reason.name,
             "points_lost": lost_count,
             "points_injected": injected,
             "yielded_fraction": self.last_yielded_fraction,
             "seconds": seconds,
+            "fallback_events": list(self._step_fallback_events),
+            "dt_scale": self._dt_scale,
+            "retries": 0,
         }
+
+    # ------------------------------------------------------------------ #
+    # self-healing step: snapshot -> attempt -> classify -> rollback
+    # ------------------------------------------------------------------ #
+    def _fields_finite(self) -> bool:
+        if not (np.isfinite(self.u).all() and np.isfinite(self.p).all()):
+            return False
+        return self.T is None or bool(np.isfinite(self.T).all())
+
+    def step(self, dt: float | None = None) -> dict:
+        """Advance one time step; in resilient mode, survive solver failure.
+
+        Non-resilient configs go straight to :meth:`_advance`.  Resilient
+        configs snapshot the evolving state in memory (the checkpoint
+        serialization, so file and rollback restores cannot drift), attempt
+        the step, and on a *hard* failure -- a ``BreakdownError`` escaping
+        the solve stack, a hard-DIVERGED Newton reason, or non-finite
+        fields -- restore the snapshot, halve dt (``dt_backoff``), and
+        retry up to ``max_step_retries`` times.  Every rollback is an obs
+        event plus a ``resilience`` trace record.  After
+        ``dt_recover_after`` consecutive clean steps one back-off factor is
+        undone, so dt climbs back geometrically once the transient passes.
+        """
+        cfg = self.config
+        if not cfg.resilient:
+            return self._advance(dt)
+        snapshot = state_dict(self)
+        last_reason = None
+        for attempt in range(cfg.max_step_retries + 1):
+            t0 = time.perf_counter()
+            try:
+                stats = self._advance(dt)
+            except BreakdownError as err:
+                reason = err.reason
+            else:
+                reason = ConvergedReason[stats["newton_reason"]]
+                hard = reason in _HARD_DIVERGED or not self._fields_finite()
+                if not hard:
+                    stats["retries"] = attempt
+                    # a step that needed retries is a recovery, not a clean
+                    # step: the recovery count starts at the *next* step
+                    self._clean_steps = self._clean_steps + 1 if attempt == 0 else 0
+                    if (self._dt_scale < 1.0
+                            and self._clean_steps >= cfg.dt_recover_after):
+                        self._dt_scale = min(
+                            1.0, self._dt_scale / cfg.dt_backoff
+                        )
+                        self._clean_steps = 0
+                        trace_resilience(
+                            "dt_restore", step=self.step_index,
+                            dt_scale=self._dt_scale,
+                        )
+                    return stats
+            # hard failure: rewind the evolving state and shrink the step
+            last_reason = reason
+            elapsed = time.perf_counter() - t0
+            restore_state(self, snapshot)
+            self._dt_scale *= cfg.dt_backoff
+            self._clean_steps = 0
+            _obs.log_event_seconds("ResilienceRollback", elapsed)
+            trace_resilience(
+                "rollback", step=self.step_index, attempt=attempt + 1,
+                reason=ConvergedReason(reason).name, dt_scale=self._dt_scale,
+            )
+        raise BreakdownError(
+            f"time step {self.step_index} failed after "
+            f"{cfg.max_step_retries + 1} attempts "
+            f"(dt_scale={self._dt_scale:.3g}); last reason: "
+            f"{ConvergedReason(last_reason).name}",
+            reason=last_reason,
+        )
 
     def run(self, nsteps: int, dt: float | None = None) -> list[dict]:
         """Run ``nsteps`` steps; returns the per-step stats."""

@@ -10,6 +10,7 @@ Newton/Picard nonlinear drivers with backtracking line search and
 Eisenstat-Walker adaptive forcing.
 """
 
+from ..resilience.reasons import BreakdownError, ConvergedReason
 from .result import SolveResult
 from .krylov import cg, gmres, fgmres, gcr, bicgstab
 from .chebyshev import ChebyshevSmoother, estimate_lambda_max
@@ -20,6 +21,8 @@ from .asm import AdditiveSchwarz
 from .nonlinear import newton, picard, NonlinearResult, eisenstat_walker
 
 __all__ = [
+    "BreakdownError",
+    "ConvergedReason",
     "SolveResult",
     "cg",
     "gmres",

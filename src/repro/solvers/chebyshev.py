@@ -17,6 +17,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..resilience.reasons import BreakdownError, ConvergedReason, nonfinite
+
 
 def estimate_lambda_max(
     A: Callable[[np.ndarray], np.ndarray],
@@ -106,6 +108,13 @@ class ChebyshevSmoother:
         clear :class:`ValueError` instead of letting ``sqrt`` seed silent
         NaNs; ``"abs"`` smooths with ``|diag|`` as the Jacobi scaling,
         which keeps the V-cycle running at reduced smoothing quality.
+    guard:
+        Check the smoothed iterate for NaN/Inf before returning and raise
+        :class:`~repro.resilience.reasons.BreakdownError` (reason
+        ``DIVERGED_NAN``) instead of handing a poisoned correction back
+        into the V-cycle.  One ``x @ x`` dot product per smooth -- noise
+        next to ``degree`` operator applies -- and it turns a silent
+        NaN-everywhere V-cycle into a recoverable, attributable failure.
     """
 
     def __init__(
@@ -118,7 +127,9 @@ class ChebyshevSmoother:
         emax_factor: float = 1.1,
         eig_iters: int = 10,
         indefinite: str = "raise",
+        guard: bool = True,
     ):
+        self.guard = bool(guard)
         if indefinite not in ("raise", "abs"):
             raise ValueError(
                 f"indefinite must be 'raise' or 'abs', got {indefinite!r}"
@@ -166,6 +177,12 @@ class ChebyshevSmoother:
             rho_new = 1.0 / (2.0 * sigma - rho)
             d = rho_new * rho * d + (2.0 * rho_new / delta) * (self.dinv * r)
             rho = rho_new
+        if self.guard and nonfinite(float(x @ x)):
+            raise BreakdownError(
+                "Chebyshev smoother produced a non-finite iterate "
+                "(poisoned operator apply or diagonal)",
+                reason=ConvergedReason.DIVERGED_NAN,
+            )
         return x
 
     def __call__(self, r: np.ndarray) -> np.ndarray:

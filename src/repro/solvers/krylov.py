@@ -14,6 +14,16 @@ Design notes (SS III-A of the paper):
 Operators and preconditioners are plain callables ``v -> A v`` and
 ``r -> M^{-1} r``; convergence is tested on the unpreconditioned residual
 (matching the paper's "unpreconditioned relative tolerance of 1e-5").
+
+Every method returns a :class:`SolveResult` carrying a typed
+:class:`~repro.resilience.reasons.ConvergedReason` -- no solver path can
+hand back a non-finite iterate without ``DIVERGED_NAN``, growth past
+``dtol * ||r0||`` stops with ``DIVERGED_DTOL``, and GCR/BiCGstab declare
+``DIVERGED_STAGNATION`` instead of spinning to ``maxiter`` when no
+residual reduction happens over a window (see
+:class:`~repro.resilience.guard.ResidualGuard`; the checks are scalar
+compares on norms the iterations already compute, so the clean path is
+unaffected).
 """
 
 from __future__ import annotations
@@ -24,9 +34,21 @@ import numpy as np
 
 from ..obs.registry import STATE as _OBS, instrument
 from ..obs.trace import trace_ksp
+from ..resilience.guard import DEFAULT_DTOL, ResidualGuard
+from ..resilience.reasons import ConvergedReason, nonfinite
 from .result import SolveResult
 
 Operator = Callable[[np.ndarray], np.ndarray]
+
+_NAN = ConvergedReason.DIVERGED_NAN
+_ITS = ConvergedReason.DIVERGED_ITS
+_BREAKDOWN = ConvergedReason.DIVERGED_BREAKDOWN
+
+#: stagnation windows for the methods that can truly spin (satellite of the
+#: resilience layer); GMRES/CG trust their minimization/orthogonality
+#: properties and only carry NaN/dtol guards
+GCR_STAG_WINDOW = 60
+BICGSTAB_STAG_WINDOW = 40
 
 
 def _identity(r: np.ndarray) -> np.ndarray:
@@ -34,11 +56,21 @@ def _identity(r: np.ndarray) -> np.ndarray:
     return r.copy()
 
 
-def _tolerance(b_norm: float, r0_norm: float, rtol: float, atol: float) -> float:
-    # relative to ||b|| (PETSc's default), so an exact initial guess
-    # converges immediately; fall back to ||r0|| for homogeneous systems
+def _tolerance(
+    b_norm: float, r0_norm: float, rtol: float, atol: float
+) -> tuple[float, ConvergedReason]:
+    """Stopping tolerance plus the reason reported when it is met.
+
+    Relative to ``||b||`` (PETSc's default), so an exact initial guess
+    converges immediately; falls back to ``||r0||`` for homogeneous
+    systems.  The binding criterion is fixed per solve: whichever of
+    ``rtol * ref`` / ``atol`` is larger decides the reported reason.
+    """
     ref = b_norm if b_norm > 0.0 else r0_norm
-    return max(rtol * ref, atol)
+    rbound = rtol * ref
+    if atol > rbound:
+        return atol, ConvergedReason.CONVERGED_ATOL
+    return rbound, ConvergedReason.CONVERGED_RTOL
 
 
 @instrument("KSPSolve_gcr")
@@ -52,25 +84,35 @@ def gcr(
     maxiter: int = 1000,
     restart: int = 30,
     monitor: Callable | None = None,
+    dtol: float = DEFAULT_DTOL,
+    stag_window: int = GCR_STAG_WINDOW,
 ) -> SolveResult:
     """Preconditioned Generalized Conjugate Residual method.
 
     Flexible (the preconditioner may change between iterations) and keeps
     the true residual vector available at every step.  Restarted every
-    ``restart`` directions to bound memory.
+    ``restart`` directions to bound memory.  ``stag_window`` iterations
+    without a new best residual return ``DIVERGED_STAGNATION`` (GCR is
+    norm-minimizing, so a genuinely stuck solve -- e.g. an inconsistent
+    system -- makes *exactly zero* progress forever; the window must only
+    outlive floating-point jitter, not a Fig. 2 plateau, which still
+    shrinks the residual every iteration).
     """
     M = M or _identity
     x = np.zeros_like(b) if x0 is None else x0.copy()
     r = b - A(x)
     rnorm = float(np.linalg.norm(r))
     residuals = [rnorm]
-    tol = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
+    tol, good = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
     if _OBS.enabled:
         trace_ksp("gcr", 0, rnorm)
     if monitor:
         monitor(0, r, rnorm)
+    if nonfinite(rnorm):
+        return SolveResult(x, False, 0, residuals, _NAN)
     if rnorm <= tol:
-        return SolveResult(x, True, 0, residuals)
+        return SolveResult(x, True, 0, residuals, good)
+    guard = ResidualGuard(rnorm, dtol, stag_window)
     ps: list[np.ndarray] = []
     qs: list[np.ndarray] = []  # q = A p, normalized
     it = 0
@@ -84,7 +126,10 @@ def gcr(
             p = p - beta * pj
         qnorm = float(np.linalg.norm(q))
         if qnorm == 0.0:
-            break
+            # A M r lies entirely in the span of the accepted directions:
+            # the method cannot produce a new one (singular operator or
+            # preconditioner)
+            return SolveResult(x, False, it, residuals, _BREAKDOWN)
         q /= qnorm
         p /= qnorm
         alpha = r @ q
@@ -103,8 +148,11 @@ def gcr(
         if monitor:
             monitor(it, r, rnorm)
         if rnorm <= tol:
-            return SolveResult(x, True, it, residuals)
-    return SolveResult(x, False, it, residuals)
+            return SolveResult(x, True, it, residuals, good)
+        bad = guard.check(rnorm)
+        if bad is not None:
+            return SolveResult(x, False, it, residuals, bad)
+    return SolveResult(x, False, it, residuals, _ITS)
 
 
 def _gmres_core(
@@ -119,6 +167,7 @@ def _gmres_core(
     monitor: Callable | None,
     flexible: bool,
     name: str,
+    dtol: float = DEFAULT_DTOL,
 ) -> SolveResult:
     """Right-preconditioned GMRES core shared by :func:`gmres`/:func:`fgmres`.
 
@@ -133,6 +182,10 @@ def _gmres_core(
     A fully dependent column (``H[j, j] == H[j+1, j] == 0`` after rotations,
     e.g. from a singular preconditioner) is discarded rather than driven
     into a singular triangular solve.
+
+    A NaN/Inf anywhere in a matvec or preconditioner output propagates into
+    the Givens-recurrence residual estimate within the same iteration, so
+    the guard catches it without touching the vectors.
     """
     M = M or _identity
     x = np.zeros_like(b) if x0 is None else x0.copy()
@@ -140,13 +193,16 @@ def _gmres_core(
     r = b - A(x)
     rnorm = float(np.linalg.norm(r))
     residuals = [rnorm]
-    tol = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
+    tol, good = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
     if _OBS.enabled:
         trace_ksp(name, 0, rnorm)
     if monitor:
         monitor(0, None, rnorm)
+    if nonfinite(rnorm):
+        return SolveResult(x, False, 0, residuals, _NAN)
     if rnorm <= tol:
-        return SolveResult(x, True, 0, residuals)
+        return SolveResult(x, True, 0, residuals, good)
+    guard = ResidualGuard(rnorm, dtol, stag_window=0)
     it = 0
     while it < maxiter and rnorm > tol:
         m = min(restart, maxiter - it)
@@ -160,6 +216,7 @@ def _gmres_core(
         g[0] = rnorm
         j = 0
         breakdown = False
+        bad = None
         while j < m:
             if flexible:
                 Z[j] = M(V[j])
@@ -175,6 +232,11 @@ def _gmres_core(
                 H[i, j] = w @ V[i]
                 w -= H[i, j] * V[i]
             H[j + 1, j] = float(np.linalg.norm(w))
+            if nonfinite(H[j + 1, j]):
+                # poisoned matvec/preconditioner: the column is unusable,
+                # but the iterate built from the accepted columns is not
+                bad = _NAN
+                break
             breakdown = H[j + 1, j] == 0.0
             if not breakdown:
                 V[j + 1] = w / H[j + 1, j]
@@ -205,10 +267,13 @@ def _gmres_core(
                 monitor(it, None, rnorm)
             if breakdown or rnorm <= tol:
                 break
+            bad = guard.check(rnorm)
+            if bad is not None:
+                break
         if j == 0:
             # no usable direction at all (zero operator / singular M):
-            # report stagnation instead of crashing on a singular solve
-            return SolveResult(x, False, it, residuals)
+            # report breakdown instead of crashing on a singular solve
+            return SolveResult(x, False, it, residuals, bad or _BREAKDOWN)
         # solve the small triangular system and update
         y = np.linalg.solve(H[:j, :j], g[:j])
         if flexible:
@@ -218,9 +283,19 @@ def _gmres_core(
         r = b - A(x)
         rnorm = float(np.linalg.norm(r))
         residuals[-1] = rnorm
-        if breakdown or rnorm <= tol:
-            return SolveResult(x, rnorm <= tol, it, residuals)
-    return SolveResult(x, rnorm <= tol, it, residuals)
+        if nonfinite(rnorm):
+            return SolveResult(x, False, it, residuals, _NAN)
+        if rnorm <= tol:
+            return SolveResult(x, True, it, residuals, good)
+        if bad is not None:
+            return SolveResult(x, False, it, residuals, bad)
+        if breakdown:
+            # the Krylov space was invariant yet the exact iterate misses
+            # the tolerance: nothing further can happen
+            return SolveResult(x, False, it, residuals, _BREAKDOWN)
+    if rnorm <= tol:
+        return SolveResult(x, True, it, residuals, good)
+    return SolveResult(x, False, it, residuals, _ITS)
 
 
 @instrument("KSPSolve_fgmres")
@@ -234,6 +309,7 @@ def fgmres(
     maxiter: int = 1000,
     restart: int = 30,
     monitor: Callable | None = None,
+    dtol: float = DEFAULT_DTOL,
 ) -> SolveResult:
     """Flexible GMRES (Saad): right preconditioning, per-iterate Z storage.
 
@@ -243,7 +319,7 @@ def fgmres(
     """
     return _gmres_core(
         A, b, x0, M, rtol, atol, maxiter, restart, monitor,
-        flexible=True, name="fgmres",
+        flexible=True, name="fgmres", dtol=dtol,
     )
 
 
@@ -258,6 +334,7 @@ def gmres(
     maxiter: int = 1000,
     restart: int = 30,
     monitor: Callable | None = None,
+    dtol: float = DEFAULT_DTOL,
 ) -> SolveResult:
     """Right-preconditioned GMRES (fixed *linear* preconditioner).
 
@@ -270,7 +347,7 @@ def gmres(
     """
     return _gmres_core(
         A, b, x0, M, rtol, atol, maxiter, restart, monitor,
-        flexible=False, name="gmres",
+        flexible=False, name="gmres", dtol=dtol,
     )
 
 
@@ -284,6 +361,7 @@ def cg(
     atol: float = 0.0,
     maxiter: int = 1000,
     monitor: Callable | None = None,
+    dtol: float = DEFAULT_DTOL,
 ) -> SolveResult:
     """Preconditioned conjugate gradients for SPD operators."""
     M = M or _identity
@@ -291,13 +369,16 @@ def cg(
     r = b - A(x)
     rnorm = float(np.linalg.norm(r))
     residuals = [rnorm]
-    tol = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
+    tol, good = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
     if _OBS.enabled:
         trace_ksp("cg", 0, rnorm)
     if monitor:
         monitor(0, r, rnorm)
+    if nonfinite(rnorm):
+        return SolveResult(x, False, 0, residuals, _NAN)
     if rnorm <= tol:
-        return SolveResult(x, True, 0, residuals)
+        return SolveResult(x, True, 0, residuals, good)
+    guard = ResidualGuard(rnorm, dtol, stag_window=0)
     z = M(r)
     p = z.copy()
     rz = r @ z
@@ -305,8 +386,10 @@ def cg(
         Ap = A(p)
         pAp = p @ Ap
         if pAp <= 0:
-            # operator not SPD on this subspace; bail out safely
-            return SolveResult(x, False, it - 1, residuals)
+            # operator not SPD on this subspace; bail out safely (a NaN
+            # pAp falls through this comparison and is caught by the
+            # residual guard below)
+            return SolveResult(x, False, it - 1, residuals, _BREAKDOWN)
         alpha = rz / pAp
         x += alpha * p
         r -= alpha * Ap
@@ -317,12 +400,15 @@ def cg(
         if monitor:
             monitor(it, r, rnorm)
         if rnorm <= tol:
-            return SolveResult(x, True, it, residuals)
+            return SolveResult(x, True, it, residuals, good)
+        bad = guard.check(rnorm)
+        if bad is not None:
+            return SolveResult(x, False, it, residuals, bad)
         z = M(r)
         rz_new = r @ z
         p = z + (rz_new / rz) * p
         rz = rz_new
-    return SolveResult(x, False, maxiter, residuals)
+    return SolveResult(x, False, maxiter, residuals, _ITS)
 
 
 @instrument("KSPSolve_bicgstab")
@@ -335,34 +421,49 @@ def bicgstab(
     atol: float = 0.0,
     maxiter: int = 1000,
     monitor: Callable | None = None,
+    dtol: float = DEFAULT_DTOL,
+    stag_window: int = BICGSTAB_STAG_WINDOW,
 ) -> SolveResult:
-    """BiCGstab for nonsymmetric systems (used by the SUPG energy solve)."""
+    """BiCGstab for nonsymmetric systems (used by the SUPG energy solve).
+
+    Unlike the minimizing methods, BiCGstab's residual can wander or grow
+    without bound on indefinite operators; the guard turns that into
+    ``DIVERGED_DTOL`` / ``DIVERGED_STAGNATION`` instead of ``maxiter``
+    useless iterations, and zero inner products exit as
+    ``DIVERGED_BREAKDOWN``.
+    """
     M = M or _identity
     x = np.zeros_like(b) if x0 is None else x0.copy()
     r = b - A(x)
     rnorm = float(np.linalg.norm(r))
     residuals = [rnorm]
-    tol = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
+    tol, good = _tolerance(np.linalg.norm(b), rnorm, rtol, atol)
     if _OBS.enabled:
         trace_ksp("bicgstab", 0, rnorm)
     if monitor:
         monitor(0, r, rnorm)
+    if nonfinite(rnorm):
+        return SolveResult(x, False, 0, residuals, _NAN)
     if rnorm <= tol:
-        return SolveResult(x, True, 0, residuals)
+        return SolveResult(x, True, 0, residuals, good)
+    guard = ResidualGuard(rnorm, dtol, stag_window)
     r_hat = r.copy()
     rho = alpha = omega = 1.0
     v = np.zeros_like(b)
     p = np.zeros_like(b)
+    reason = _ITS
     for it in range(1, maxiter + 1):
         rho_new = r_hat @ r
-        if rho_new == 0.0:
+        if rho_new == 0.0 or nonfinite(rho_new):
+            reason = _NAN if nonfinite(rho_new) else _BREAKDOWN
             break
         beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
         p = r + beta * (p - omega * v) if it > 1 else r.copy()
         y = M(p)
         v = A(y)
         denom = r_hat @ v
-        if denom == 0.0:
+        if denom == 0.0 or nonfinite(denom):
+            reason = _NAN if nonfinite(denom) else _BREAKDOWN
             break
         alpha = rho_new / denom
         s = r - alpha * v
@@ -377,7 +478,7 @@ def bicgstab(
                 trace_ksp("bicgstab", it, snorm)
             if monitor:
                 monitor(it, s, snorm)
-            return SolveResult(x, True, it, residuals)
+            return SolveResult(x, True, it, residuals, good)
         z = M(s)
         t = A(z)
         tt = t @ t
@@ -392,7 +493,11 @@ def bicgstab(
         if monitor:
             monitor(it, r, rnorm)
         if rnorm <= tol:
-            return SolveResult(x, True, it, residuals)
+            return SolveResult(x, True, it, residuals, good)
+        bad = guard.check(rnorm)
+        if bad is not None:
+            return SolveResult(x, False, it, residuals, bad)
         if omega == 0.0:
+            reason = _BREAKDOWN
             break
-    return SolveResult(x, False, it, residuals)
+    return SolveResult(x, False, it, residuals, reason)

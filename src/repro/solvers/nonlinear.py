@@ -18,6 +18,12 @@ import numpy as np
 
 from ..obs.registry import STATE as _OBS, instrument
 from ..obs.trace import trace_snes
+from ..resilience.guard import DEFAULT_DTOL
+from ..resilience.reasons import ConvergedReason, nonfinite
+
+_NAN = ConvergedReason.DIVERGED_NAN
+_ITS = ConvergedReason.DIVERGED_ITS
+_DTOL = ConvergedReason.DIVERGED_DTOL
 
 
 @dataclass
@@ -26,7 +32,9 @@ class NonlinearResult:
 
     ``linear_iterations[k]`` counts the Krylov iterations of the k-th step,
     so Fig. 4's "Total Newton"/"Total Krylov" per time step are sums over
-    this record.
+    this record.  ``reason`` mirrors PETSc's ``SNESConvergedReason``: like
+    :class:`~repro.solvers.result.SolveResult` it is derived from
+    ``converged`` when a construction site leaves it at the sentinel.
     """
 
     x: np.ndarray
@@ -35,6 +43,13 @@ class NonlinearResult:
     residuals: list[float] = field(default_factory=list)
     linear_iterations: list[int] = field(default_factory=list)
     step_lengths: list[float] = field(default_factory=list)
+    reason: ConvergedReason = ConvergedReason.CONVERGED_ITERATING
+
+    def __post_init__(self):
+        if self.reason == ConvergedReason.CONVERGED_ITERATING:
+            self.reason = (
+                ConvergedReason.CONVERGED_RTOL if self.converged else _ITS
+            )
 
     @property
     def total_linear_iterations(self) -> int:
@@ -79,6 +94,7 @@ def newton(
     ls_max_backtracks: int = 6,
     use_eisenstat_walker: bool = True,
     monitor: Callable | None = None,
+    dtol: float = DEFAULT_DTOL,
 ) -> NonlinearResult:
     """Inexact Newton with backtracking line search.
 
@@ -95,20 +111,35 @@ def newton(
     rtol / atol / maxiter:
         Outer stopping: ``|F| <= max(rtol * |F0|, atol)`` within ``maxiter``
         steps (the rifting runs use rtol=1e-2, maxiter=5).
+    dtol:
+        Residual growth past ``dtol * |F0|`` (or a non-finite ``|F|``)
+        aborts the outer loop with ``DIVERGED_DTOL`` / ``DIVERGED_NAN``
+        instead of burning the remaining linear solves on garbage -- the
+        signal the time loop's rollback policy keys on.
     """
     x = x0.copy()
     F = residual(x)
     fnorm = float(np.linalg.norm(F))
     residuals = [fnorm]
     tol = max(rtol * fnorm, atol)
+    good = (
+        ConvergedReason.CONVERGED_ATOL
+        if atol > rtol * fnorm
+        else ConvergedReason.CONVERGED_RTOL
+    )
+    limit = dtol * fnorm if dtol else 0.0
     lin_its: list[int] = []
     steps: list[float] = []
     if _OBS.enabled:
         trace_snes(0, fnorm)
     if monitor:
         monitor(0, fnorm)
+    if nonfinite(fnorm):
+        return NonlinearResult(x, False, 0, residuals, lin_its, steps,
+                               reason=_NAN)
     if fnorm <= tol:
-        return NonlinearResult(x, True, 0, residuals, lin_its, steps)
+        return NonlinearResult(x, True, 0, residuals, lin_its, steps,
+                               reason=good)
     eta = 0.3
     fnorm_prev = None
     for it in range(1, maxiter + 1):
@@ -141,8 +172,16 @@ def newton(
         if monitor:
             monitor(it, fnorm)
         if fnorm <= tol:
-            return NonlinearResult(x, True, it, residuals, lin_its, steps)
-    return NonlinearResult(x, False, maxiter, residuals, lin_its, steps)
+            return NonlinearResult(x, True, it, residuals, lin_its, steps,
+                                   reason=good)
+        if nonfinite(fnorm):
+            return NonlinearResult(x, False, it, residuals, lin_its, steps,
+                                   reason=_NAN)
+        if limit and fnorm > limit:
+            return NonlinearResult(x, False, it, residuals, lin_its, steps,
+                                   reason=_DTOL)
+    return NonlinearResult(x, False, maxiter, residuals, lin_its, steps,
+                           reason=_ITS)
 
 
 @instrument("SNESSolve_picard")
@@ -155,26 +194,36 @@ def picard(
     maxiter: int = 30,
     lin_rtol: float = 1e-3,
     monitor: Callable | None = None,
+    dtol: float = DEFAULT_DTOL,
 ) -> NonlinearResult:
     """Picard (successive substitution) iteration.
 
     ``solve_picard(x, F, rtol_lin)`` solves the Picard-linearized system
     (frozen effective viscosity) for the correction.  Robust far from the
     solution; the paper notes it stagnates for plasticity models, which the
-    nonlinear-convergence tests exhibit.
+    nonlinear-convergence tests exhibit.  Carries the same NaN/``dtol``
+    guards as :func:`newton`.
     """
     x = x0.copy()
     F = residual(x)
     fnorm = float(np.linalg.norm(F))
     residuals = [fnorm]
     tol = max(rtol * fnorm, atol)
+    good = (
+        ConvergedReason.CONVERGED_ATOL
+        if atol > rtol * fnorm
+        else ConvergedReason.CONVERGED_RTOL
+    )
+    limit = dtol * fnorm if dtol else 0.0
     lin_its: list[int] = []
     if _OBS.enabled:
         trace_snes(0, fnorm)
     if monitor:
         monitor(0, fnorm)
+    if nonfinite(fnorm):
+        return NonlinearResult(x, False, 0, residuals, lin_its, reason=_NAN)
     if fnorm <= tol:
-        return NonlinearResult(x, True, 0, residuals, lin_its)
+        return NonlinearResult(x, True, 0, residuals, lin_its, reason=good)
     for it in range(1, maxiter + 1):
         dx, kits = solve_picard(x, F, lin_rtol)
         lin_its.append(kits)
@@ -187,5 +236,12 @@ def picard(
         if monitor:
             monitor(it, fnorm)
         if fnorm <= tol:
-            return NonlinearResult(x, True, it, residuals, lin_its)
-    return NonlinearResult(x, False, maxiter, residuals, lin_its)
+            return NonlinearResult(x, True, it, residuals, lin_its,
+                                   reason=good)
+        if nonfinite(fnorm):
+            return NonlinearResult(x, False, it, residuals, lin_its,
+                                   reason=_NAN)
+        if limit and fnorm > limit:
+            return NonlinearResult(x, False, it, residuals, lin_its,
+                                   reason=_DTOL)
+    return NonlinearResult(x, False, maxiter, residuals, lin_its, reason=_ITS)

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..resilience.reasons import ConvergedReason
+
 
 @dataclass
 class SolveResult:
@@ -22,12 +24,27 @@ class SolveResult:
     residuals:
         History of (unpreconditioned, when available) residual norms,
         including the initial one.
+    reason:
+        Typed :class:`~repro.resilience.reasons.ConvergedReason` -- *why*
+        the solve stopped, PETSc-style.  Every solver sets it explicitly;
+        the constructor derives a consistent default (``CONVERGED_RTOL`` /
+        ``DIVERGED_ITS``) from ``converged`` for legacy construction
+        sites, so ``converged == reason.is_converged`` always holds.
     """
 
     x: np.ndarray
     converged: bool
     iterations: int
     residuals: list[float] = field(default_factory=list)
+    reason: ConvergedReason = ConvergedReason.CONVERGED_ITERATING
+
+    def __post_init__(self):
+        if self.reason == ConvergedReason.CONVERGED_ITERATING:
+            self.reason = (
+                ConvergedReason.CONVERGED_RTOL
+                if self.converged
+                else ConvergedReason.DIVERGED_ITS
+            )
 
     @property
     def final_residual(self) -> float:
@@ -41,6 +58,7 @@ class SolveResult:
         """JSON-ready summary (the ``repro.obs`` trace-schema shape)."""
         return {
             "converged": bool(self.converged),
+            "reason": self.reason.name,
             "iterations": int(self.iterations),
             "residuals": [float(r) for r in self.residuals],
             "initial_residual": float(self.initial_residual),
@@ -50,5 +68,6 @@ class SolveResult:
     def __repr__(self) -> str:
         return (
             f"SolveResult(converged={self.converged}, its={self.iterations}, "
-            f"r0={self.initial_residual:.3e}, rN={self.final_residual:.3e})"
+            f"r0={self.initial_residual:.3e}, rN={self.final_residual:.3e}, "
+            f"reason={self.reason.name})"
         )

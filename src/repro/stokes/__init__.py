@@ -20,7 +20,8 @@ applied by any of the Table I kernels.  Two solution strategies:
 from .operators import StokesOperator, StokesProblem, eta_at_quadrature, split_uy_p
 from .fieldsplit import FieldSplitPreconditioner, SchurMass
 from .scr import solve_scr
-from .solve import StokesConfig, solve_stokes, StokesSolution
+from .solve import (StokesConfig, solve_stokes, solve_stokes_resilient,
+                    StokesSolution)
 
 __all__ = [
     "StokesOperator",
@@ -32,5 +33,6 @@ __all__ = [
     "solve_scr",
     "StokesConfig",
     "solve_stokes",
+    "solve_stokes_resilient",
     "StokesSolution",
 ]

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..resilience.reasons import ConvergedReason
 from ..solvers.krylov import cg, gcr
 from .fieldsplit import SchurMass
 
@@ -28,6 +29,8 @@ class SCRStats:
     outer_iterations: int = 0
     inner_iterations: list[int] = field(default_factory=list)
     converged: bool = False
+    #: outer GCR stopping reason (set by :func:`solve_scr`)
+    reason: ConvergedReason = ConvergedReason.CONVERGED_ITERATING
 
     @property
     def total_inner(self) -> int:
@@ -87,6 +90,7 @@ def solve_scr(
     dp = res_p.x
     stats.outer_iterations = res_p.iterations
     stats.converged = res_p.converged
+    stats.reason = res_p.reason
 
     gdp = stokes_op.B_int.T @ dp
     if stokes_op.bc is not None:

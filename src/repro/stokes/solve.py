@@ -18,6 +18,10 @@ import numpy as np
 from ..mg.coefficients import coefficient_hierarchy
 from ..mg.gmg import GMGConfig, build_gmg
 from ..obs import registry as _obs
+from ..obs.trace import trace_resilience
+from ..resilience.fallback import FallbackLadder, default_rungs
+from ..resilience.guard import DEFAULT_DTOL
+from ..resilience.reasons import ConvergedReason
 from ..solvers.krylov import gcr, fgmres
 from .fieldsplit import FieldSplitPreconditioner, SchurMass
 from .operators import StokesOperator, StokesProblem
@@ -49,6 +53,13 @@ class StokesConfig:
     #: $REPRO_WORKERS; 1 = serial); backend: thread/process/auto
     workers: int | None = None
     parallel_backend: str | None = None
+    #: velocity-block preconditioner: 'gmg' (the paper's V-cycle) or
+    #: 'jacobi' (diagonal scaling -- the last rung of the fallback ladder,
+    #: slow but nearly unbreakable since it needs no hierarchy setup)
+    velocity_pc: str = "gmg"
+    #: outer divergence tolerance: residual growth past ``dtol * ||r0||``
+    #: stops the solve with ``DIVERGED_DTOL`` (0 disables)
+    dtol: float = DEFAULT_DTOL
 
     def gmg_config(self) -> GMGConfig:
         return GMGConfig(
@@ -78,6 +89,17 @@ class StokesSolution:
     solve_seconds: float = 0.0
     mg_stats: object = None
     extra: dict = field(default_factory=dict)
+    #: why the outer solve stopped; derived from ``converged`` when a
+    #: construction site leaves the sentinel (same contract as SolveResult)
+    reason: ConvergedReason = ConvergedReason.CONVERGED_ITERATING
+
+    def __post_init__(self):
+        if self.reason == ConvergedReason.CONVERGED_ITERATING:
+            self.reason = (
+                ConvergedReason.CONVERGED_RTOL
+                if self.converged
+                else ConvergedReason.DIVERGED_ITS
+            )
 
 
 def _pressure_null_vector(mesh) -> np.ndarray:
@@ -124,15 +146,31 @@ def solve_stokes(
             divergence=divergence, workers=cfg.workers,
             parallel_backend=cfg.parallel_backend,
         )
-        meshes = mesh.hierarchy(cfg.mg_levels)[::-1]
-        if eta_levels is None:
-            eta_levels = coefficient_hierarchy(meshes, problem.eta_q, problem.quad)
-        with _obs.timed("PCSetUp_gmg"):
-            mg, mg_stats = build_gmg(
-                meshes, eta_levels, problem.bc_builder, cfg.gmg_config()
-            )
+        if cfg.velocity_pc == "jacobi":
+            # last rung of the fallback ladder: diagonal scaling of the
+            # viscous block, no hierarchy to build and nothing to break
+            with _obs.timed("PCSetUp_jacobi"):
+                d = np.array(op.A_op.diagonal(), dtype=np.float64)
+                if problem.bc is not None:
+                    d[problem.bc.mask] = 1.0  # BC rows are identity
+                d[d == 0.0] = 1.0
+                dinv = 1.0 / d
+            vel_pc = lambda ru: dinv * ru  # noqa: E731
+            mg_stats = None
+        elif cfg.velocity_pc == "gmg":
+            meshes = mesh.hierarchy(cfg.mg_levels)[::-1]
+            if eta_levels is None:
+                eta_levels = coefficient_hierarchy(
+                    meshes, problem.eta_q, problem.quad
+                )
+            with _obs.timed("PCSetUp_gmg"):
+                vel_pc, mg_stats = build_gmg(
+                    meshes, eta_levels, problem.bc_builder, cfg.gmg_config()
+                )
+        else:
+            raise ValueError(f"unknown velocity_pc {cfg.velocity_pc!r}")
         with _obs.timed("PCSetUp_fieldsplit"):
-            pc = FieldSplitPreconditioner(op, mg)
+            pc = FieldSplitPreconditioner(op, vel_pc)
     setup_s = time.perf_counter() - t0
 
     b = op.rhs() if rhs is None else rhs
@@ -152,7 +190,7 @@ def solve_stokes(
     if cfg.scheme == "scr":
         with _obs.stage("StokesSolve"):
             x, scr_stats = solve_scr(
-                op, b, velocity_pc=mg, rtol=cfg.rtol,
+                op, b, velocity_pc=vel_pc, rtol=cfg.rtol,
                 inner_rtol=cfg.scr_inner_rtol, maxiter=cfg.maxiter,
                 monitor=monitor,
             )
@@ -162,7 +200,7 @@ def solve_stokes(
             u=x[:nu], p=x[nu:], iterations=scr_stats.outer_iterations,
             converged=scr_stats.converged, residuals=[],
             setup_seconds=setup_s, solve_seconds=solve_s, mg_stats=mg_stats,
-            extra={"scr": scr_stats},
+            extra={"scr": scr_stats}, reason=scr_stats.reason,
         )
 
     if cfg.scheme != "fieldsplit":
@@ -184,7 +222,7 @@ def solve_stokes(
     with _obs.stage("StokesSolve"):
         res = method(
             apply_op, b, x0=x0, M=pc_apply, rtol=cfg.rtol, maxiter=cfg.maxiter,
-            restart=cfg.restart, monitor=monitor,
+            restart=cfg.restart, monitor=monitor, dtol=cfg.dtol,
         )
     x = project(res.x)
     solve_s = time.perf_counter() - t0
@@ -192,4 +230,40 @@ def solve_stokes(
         u=x[:nu], p=x[nu:], iterations=res.iterations, converged=res.converged,
         residuals=res.residuals, setup_seconds=setup_s, solve_seconds=solve_s,
         mg_stats=mg_stats, extra={"operator": op, "preconditioner": pc},
+        reason=res.reason,
     )
+
+
+def solve_stokes_resilient(
+    problem: StokesProblem,
+    config: StokesConfig | None = None,
+    ladder: FallbackLadder | None = None,
+    **kwargs,
+) -> StokesSolution:
+    """:func:`solve_stokes` behind the preconditioner fallback ladder.
+
+    Attempts the configured solve; on a recoverable failure (a DIVERGED
+    reason in :data:`~repro.resilience.fallback.DEFAULT_RETRY_ON`, or a
+    recoverable exception such as a smoother breakdown) it walks the
+    downgrade ladder -- matrix-free GMG -> assembled GMG -> single-level
+    SA-AMG -> Jacobi-preconditioned FGMRES restart -- re-running the solve
+    under each progressively cheaper-to-trust configuration.  Each
+    downgrade is recorded as a ``ResilienceFallback[...]`` obs event and a
+    ``resilience`` trace record, and the walk's event list lands in
+    ``solution.extra["fallback_events"]``.
+
+    Raises :class:`~repro.resilience.reasons.BreakdownError` only when
+    every rung *raised*; a final rung that merely failed to converge
+    returns its (finite, best-effort) solution with the DIVERGED reason so
+    the time loop can decide between accepting and rolling back.
+    """
+    cfg = config or StokesConfig()
+    ladder = ladder or FallbackLadder(default_rungs())
+
+    def attempt(rung_cfg: StokesConfig) -> StokesSolution:
+        return solve_stokes(problem, rung_cfg, **kwargs)
+
+    sol, events = ladder.walk(cfg, attempt, classify=lambda s: s.reason)
+    if events:
+        sol.extra["fallback_events"] = events
+    return sol

@@ -260,6 +260,7 @@ class TestSolveResult:
         res = SolveResult(np.zeros(3), True, 2, residuals=[4.0, 1.0, 0.25])
         d = res.to_dict()
         assert d == {"converged": True, "iterations": 2,
+                     "reason": "CONVERGED_RTOL",
                      "residuals": [4.0, 1.0, 0.25],
                      "initial_residual": 4.0, "final_residual": 0.25}
         json.dumps(d)

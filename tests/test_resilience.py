@@ -1,0 +1,829 @@
+"""Solver resilience layer: reasons, guards, fault injection, fallback,
+rollback, and crash recovery (the adversarial suite of the robustness PR)."""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.parallel.executor import ParallelExecutor, WorkerCrash, partition_range
+from repro.resilience import (
+    BreakdownError,
+    ConvergedReason,
+    DEFAULT_RETRY_ON,
+    FallbackLadder,
+    FaultInjector,
+    ResidualGuard,
+    Rung,
+    WorkerKiller,
+    default_rungs,
+    nonfinite,
+)
+from repro.sim import (
+    SimulationConfig,
+    load_checkpoint,
+    make_rifting,
+    make_sinker,
+    save_checkpoint,
+)
+from repro.sim.checkpoint import restore_state, state_dict
+from repro.sim.rifting import RiftingConfig
+from repro.sim.sinker import SinkerConfig, sinker_stokes_problem
+from repro.solvers import (
+    ChebyshevSmoother,
+    bicgstab,
+    cg,
+    fgmres,
+    gcr,
+    gmres,
+    newton,
+)
+from repro.stokes import StokesConfig, solve_stokes, solve_stokes_resilient
+from repro.stokes.fieldsplit import FieldSplitPreconditioner
+from repro.stokes.operators import StokesOperator
+from repro import obs
+
+ALL = [cg, gmres, fgmres, gcr, bicgstab]
+
+
+def spd_system(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    Q = rng.standard_normal((n, n))
+    A = sp.csr_matrix(Q @ Q.T + n * np.eye(n))
+    b = rng.standard_normal(n)
+    return A, b
+
+
+# --------------------------------------------------------------------- #
+# reasons and guards
+# --------------------------------------------------------------------- #
+class TestReasons:
+    def test_sign_convention(self):
+        assert ConvergedReason.CONVERGED_RTOL.is_converged
+        assert ConvergedReason.CONVERGED_ATOL.is_converged
+        for r in (ConvergedReason.DIVERGED_ITS, ConvergedReason.DIVERGED_DTOL,
+                  ConvergedReason.DIVERGED_NAN,
+                  ConvergedReason.DIVERGED_BREAKDOWN,
+                  ConvergedReason.DIVERGED_STAGNATION):
+            assert r.is_diverged and not r.is_converged
+        assert not ConvergedReason.CONVERGED_ITERATING.is_converged
+        assert not ConvergedReason.CONVERGED_ITERATING.is_diverged
+
+    def test_nonfinite(self):
+        assert nonfinite(float("nan"))
+        assert nonfinite(float("inf"))
+        assert nonfinite(float("-inf"))
+        assert not nonfinite(0.0) and not nonfinite(-1e300)
+
+    def test_breakdown_error_carries_reason(self):
+        err = BreakdownError("x", reason=ConvergedReason.DIVERGED_NAN)
+        assert err.reason == ConvergedReason.DIVERGED_NAN
+        assert BreakdownError("y").reason == ConvergedReason.DIVERGED_BREAKDOWN
+
+
+class TestResidualGuard:
+    def test_nan_and_inf(self):
+        g = ResidualGuard(1.0)
+        assert g.check(float("nan")) == ConvergedReason.DIVERGED_NAN
+        assert g.check(float("inf")) == ConvergedReason.DIVERGED_NAN
+
+    def test_dtol(self):
+        g = ResidualGuard(1.0, dtol=10.0)
+        assert g.check(9.0) is None
+        assert g.check(11.0) == ConvergedReason.DIVERGED_DTOL
+
+    def test_dtol_disabled(self):
+        g = ResidualGuard(1.0, dtol=0.0)
+        assert g.check(1e300) is None
+
+    def test_stagnation_window(self):
+        g = ResidualGuard(1.0, dtol=0.0, stag_window=3)
+        assert g.check(1.0) is None
+        assert g.check(1.0) is None
+        assert g.check(1.0) == ConvergedReason.DIVERGED_STAGNATION
+
+    def test_improvement_resets_window(self):
+        g = ResidualGuard(1.0, dtol=0.0, stag_window=3)
+        for r in (0.9, 0.8, 0.7, 0.6, 0.5, 0.4):
+            assert g.check(r) is None
+
+
+# --------------------------------------------------------------------- #
+# reason threading through every solver entry point
+# --------------------------------------------------------------------- #
+class TestKrylovReasons:
+    @pytest.mark.parametrize("method", ALL)
+    def test_converged_rtol(self, method):
+        A, b = spd_system()
+        res = method(lambda v: A @ v, b, rtol=1e-8, maxiter=600)
+        assert res.converged
+        assert res.reason == ConvergedReason.CONVERGED_RTOL
+
+    @pytest.mark.parametrize("method", ALL)
+    def test_converged_atol(self, method):
+        A, b = spd_system()
+        # atol dominates rtol * ||b|| -> the absolute test is the binding one
+        res = method(lambda v: A @ v, b, rtol=1e-16,
+                     atol=1e-6 * np.linalg.norm(b), maxiter=600)
+        assert res.converged
+        assert res.reason == ConvergedReason.CONVERGED_ATOL
+
+    @pytest.mark.parametrize("method", ALL)
+    def test_diverged_its(self, method):
+        A, b = spd_system()
+        res = method(lambda v: A @ v, b, rtol=1e-14, maxiter=2)
+        assert not res.converged
+        assert res.reason == ConvergedReason.DIVERGED_ITS
+
+    @pytest.mark.parametrize("method", ALL)
+    def test_nan_matvec_is_diverged_nan(self, method):
+        A, b = spd_system()
+        calls = [0]
+
+        def poisoned(v):
+            calls[0] += 1
+            out = A @ v
+            if calls[0] >= 2:  # initial residual stays clean
+                out = out.copy()
+                out[0] = np.nan
+            return out
+
+        res = method(poisoned, b, rtol=1e-10, maxiter=200)
+        assert not res.converged
+        assert res.reason == ConvergedReason.DIVERGED_NAN
+        # the guard stops within a few iterations of the poisoning
+        assert res.iterations <= 5
+
+    @pytest.mark.parametrize("method", ALL)
+    def test_nan_rhs_detected_immediately(self, method):
+        A, b = spd_system()
+        b = b.copy()
+        b[0] = np.nan
+        res = method(lambda v: A @ v, b, maxiter=50)
+        assert res.reason == ConvergedReason.DIVERGED_NAN
+        assert res.iterations == 0
+
+    @pytest.mark.parametrize("method", ALL)
+    def test_reason_in_to_dict(self, method):
+        A, b = spd_system()
+        d = method(lambda v: A @ v, b, rtol=1e-8, maxiter=600).to_dict()
+        assert d["reason"] == "CONVERGED_RTOL"
+
+
+class TestIndefiniteRegressions:
+    """bicgstab/gcr used to spin to max_it on hopeless systems."""
+
+    def _indefinite(self, n=80, seed=0):
+        rng = np.random.default_rng(seed)
+        d = np.ones(n)
+        d[: n // 2] = -1.0
+        return np.diag(d) + np.triu(rng.standard_normal((n, n)), 1) * 2.0, \
+            rng.standard_normal(n)
+
+    def test_bicgstab_indefinite_stops_early(self):
+        A, b = self._indefinite()
+        res = bicgstab(lambda v: A @ v, b, rtol=1e-12, maxiter=2000)
+        assert not res.converged
+        assert res.reason in (ConvergedReason.DIVERGED_STAGNATION,
+                              ConvergedReason.DIVERGED_DTOL,
+                              ConvergedReason.DIVERGED_BREAKDOWN)
+        assert res.iterations < 200  # not 2000 useless iterations
+
+    def test_bicgstab_growth_trips_dtol(self):
+        A, b = self._indefinite(seed=3)
+        res = bicgstab(lambda v: A @ v, b, rtol=1e-12, maxiter=2000, dtol=5.0)
+        assert res.reason in (ConvergedReason.DIVERGED_DTOL,
+                              ConvergedReason.DIVERGED_STAGNATION)
+        assert res.iterations < 100
+
+    def test_gcr_inconsistent_system_stagnates(self):
+        # singular operator + rhs with a null-space component: the minimal
+        # residual is bounded away from zero, so GCR can only stagnate
+        n = 60
+        d = np.ones(n)
+        d[0] = 0.0
+        A = np.diag(d)
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal(n)
+        b[0] = 1.0
+        res = gcr(lambda v: A @ v, b, rtol=1e-12, maxiter=1000)
+        assert not res.converged
+        assert res.reason in (ConvergedReason.DIVERGED_STAGNATION,
+                              ConvergedReason.DIVERGED_BREAKDOWN)
+        assert res.iterations < 200
+
+    def test_cg_indefinite_breakdown(self):
+        n = 40
+        d = np.ones(n)
+        d[0] = -1.0
+        A = np.diag(d)
+        rng = np.random.default_rng(2)
+        res = cg(lambda v: A @ v, rng.standard_normal(n), rtol=1e-12,
+                 maxiter=200)
+        assert res.reason == ConvergedReason.DIVERGED_BREAKDOWN
+
+
+class TestNonlinearReasons:
+    def test_newton_nan_residual(self):
+        def residual(x):
+            return np.full_like(x, np.nan)
+
+        res = newton(residual, lambda x, F, t: (F, 0), np.ones(4))
+        assert res.reason == ConvergedReason.DIVERGED_NAN
+        assert not res.converged
+
+    def test_newton_dtol(self):
+        # each "correction" makes things worse by 100x
+        state = {"f": 1.0}
+
+        def residual(x):
+            return np.full_like(x, state["f"])
+
+        def solve(x, F, t):
+            state["f"] *= 100.0
+            return np.zeros_like(x), 1
+
+        res = newton(residual, solve, np.ones(4), rtol=1e-10, maxiter=20,
+                     line_search=False, dtol=1e3)
+        assert res.reason == ConvergedReason.DIVERGED_DTOL
+
+    def test_newton_its(self):
+        def residual(x):
+            return np.ones_like(x)
+
+        res = newton(residual, lambda x, F, t: (np.zeros_like(x), 1),
+                     np.ones(4), rtol=1e-10, maxiter=3, line_search=False)
+        assert res.reason == ConvergedReason.DIVERGED_ITS
+
+    def test_newton_converged_reason(self):
+        # residual convention F(x) = b - J x: dx = F is the exact step
+        def residual(x):
+            return 2.0 - x
+
+        def solve(x, F, t):
+            return F, 1
+
+        res = newton(residual, solve, np.zeros(4), rtol=1e-8)
+        assert res.converged
+        assert res.reason == ConvergedReason.CONVERGED_RTOL
+
+
+class TestChebyshevGuard:
+    def test_poisoned_apply_raises_breakdown(self):
+        n = 30
+        A = np.diag(np.linspace(1.0, 4.0, n))
+        sm = ChebyshevSmoother(lambda v: A @ v, np.diag(A), degree=2)
+        with FaultInjector() as fi:
+            fi.poison_nan(sm, "A", mode="all", label="nan:A")
+            # patching the attribute directly: sm.A is a plain callable
+            with pytest.raises(BreakdownError) as exc:
+                sm.smooth(np.ones(n))
+        assert exc.value.reason == ConvergedReason.DIVERGED_NAN
+
+    def test_guard_off_passes_nan_through(self):
+        n = 10
+        A = np.diag(np.ones(n))
+        sm = ChebyshevSmoother(lambda v: A @ v, np.ones(n), degree=2,
+                               interval=(0.2, 1.1), guard=False)
+        sm.A = lambda v: np.full(n, np.nan)
+        out = sm.smooth(np.ones(n))
+        assert np.isnan(out).any()
+
+
+# --------------------------------------------------------------------- #
+# fault injector mechanics
+# --------------------------------------------------------------------- #
+class TestFaultInjector:
+    def test_fires_on_exact_call_and_restores(self):
+        class K:
+            def f(self):
+                return np.zeros(3)
+
+        orig = K.f
+        with FaultInjector() as fi:
+            fi.poison_nan(K, "f", calls={2}, mode="all")
+            k = K()
+            assert np.isfinite(k.f()).all()
+            assert np.isnan(k.f()).all()
+            assert np.isfinite(k.f()).all()
+        assert K.f is orig
+        assert fi.fired == [{"label": "nan:f", "call": 2}]
+
+    def test_limit_bounds_firings(self):
+        class K:
+            def f(self):
+                return np.zeros(2)
+
+        with FaultInjector() as fi:
+            fi.poison_nan(K, "f", limit=1, mode="all")
+            k = K()
+            assert np.isnan(k.f()).all()
+            assert np.isfinite(k.f()).all()
+
+    def test_when_predicate(self):
+        class K:
+            def f(self):
+                return np.zeros(2)
+
+        gate = {"open": False}
+        with FaultInjector() as fi:
+            fi.poison_nan(K, "f", when=lambda: gate["open"], mode="all")
+            k = K()
+            assert np.isfinite(k.f()).all()
+            gate["open"] = True
+            assert np.isnan(k.f()).all()
+
+    def test_singular_diagonal(self):
+        class K:
+            def diagonal(self):
+                return np.ones(10)
+
+        with FaultInjector() as fi:
+            fi.singular_diagonal(K, fraction=0.3)
+            d = K().diagonal()
+        assert (d[:3] == 0.0).all() and (d[3:] == 1.0).all()
+
+    def test_fail_with(self):
+        class K:
+            def f(self):
+                return 1
+
+        with FaultInjector() as fi:
+            fi.fail_with(K, "f", BreakdownError("boom"))
+            with pytest.raises(BreakdownError):
+                K().f()
+
+    def test_truncate_file(self, tmp_path):
+        path = str(tmp_path / "blob.bin")
+        with open(path, "wb") as fh:
+            fh.write(b"x" * 1000)
+        kept = FaultInjector.truncate_file(path, keep_fraction=0.25)
+        assert kept == 250 == os.path.getsize(path)
+
+
+# --------------------------------------------------------------------- #
+# fallback ladder
+# --------------------------------------------------------------------- #
+class _Cfg:
+    """Duck-typed config stand-in (the ladder only names rungs here)."""
+
+    def __init__(self, name="primary"):
+        self.name = name
+
+
+class _Result:
+    def __init__(self, reason):
+        self.reason = reason
+
+
+class TestFallbackLadder:
+    def _ladder(self, names=("a", "b", "c")):
+        return FallbackLadder([Rung(n, lambda cfg, n=n: _Cfg(n)) for n in names])
+
+    def test_first_rung_success_no_events(self):
+        ladder = self._ladder()
+        result, events = ladder.walk(
+            _Cfg(), lambda cfg: _Result(ConvergedReason.CONVERGED_RTOL),
+            classify=lambda r: r.reason,
+        )
+        assert result.reason == ConvergedReason.CONVERGED_RTOL
+        assert events == []
+
+    def test_walks_to_second_rung(self):
+        ladder = self._ladder()
+        seen = []
+
+        def attempt(cfg):
+            seen.append(cfg.name)
+            if cfg.name == "a":
+                return _Result(ConvergedReason.DIVERGED_NAN)
+            return _Result(ConvergedReason.CONVERGED_RTOL)
+
+        result, events = ladder.walk(_Cfg(), attempt,
+                                     classify=lambda r: r.reason)
+        assert seen == ["a", "b"]
+        assert result.reason == ConvergedReason.CONVERGED_RTOL
+        assert len(events) == 1
+        assert events[0]["rung"] == "a"
+        assert events[0]["reason"] == "DIVERGED_NAN"
+        assert events[0]["next"] == "b"
+
+    def test_recoverable_exception_downgrades(self):
+        ladder = self._ladder()
+
+        def attempt(cfg):
+            if cfg.name == "a":
+                raise BreakdownError("smoother died",
+                                     reason=ConvergedReason.DIVERGED_NAN)
+            return _Result(ConvergedReason.CONVERGED_RTOL)
+
+        result, events = ladder.walk(_Cfg(), attempt,
+                                     classify=lambda r: r.reason)
+        assert result.reason == ConvergedReason.CONVERGED_RTOL
+        assert events[0]["reason"] == "DIVERGED_NAN"
+        assert "smoother died" in events[0]["error"]
+
+    def test_diverged_its_not_retried_by_default(self):
+        ladder = self._ladder()
+        seen = []
+
+        def attempt(cfg):
+            seen.append(cfg.name)
+            return _Result(ConvergedReason.DIVERGED_ITS)
+
+        result, events = ladder.walk(_Cfg(), attempt,
+                                     classify=lambda r: r.reason)
+        assert seen == ["a"]  # budget exhaustion is not a ladder trigger
+        assert result.reason == ConvergedReason.DIVERGED_ITS
+        assert ConvergedReason.DIVERGED_ITS not in DEFAULT_RETRY_ON
+
+    def test_all_rungs_raise(self):
+        ladder = self._ladder()
+
+        def attempt(cfg):
+            raise BreakdownError(f"rung {cfg.name} died")
+
+        with pytest.raises(BreakdownError) as exc:
+            ladder.walk(_Cfg(), attempt, classify=lambda r: r.reason)
+        assert "every fallback rung failed" in str(exc.value)
+
+    def test_last_rung_diverged_result_returned(self):
+        ladder = self._ladder(names=("a", "b"))
+
+        def attempt(cfg):
+            return _Result(ConvergedReason.DIVERGED_DTOL)
+
+        result, events = ladder.walk(
+            _Cfg(), attempt,
+            classify=lambda r: r.reason,
+        )
+        # caller sees the reason and owns the next policy level
+        assert result.reason == ConvergedReason.DIVERGED_DTOL
+        assert len(events) == 2
+
+    def test_default_rungs_transforms(self):
+        cfg = StokesConfig(maxiter=100)
+        rungs = default_rungs()
+        assert [r.name for r in rungs] == [
+            "primary", "assembled-gmg", "sa-amg", "jacobi-restart"]
+        assert rungs[0].transform(cfg) is cfg
+        assert rungs[1].transform(cfg).operator == "asmb"
+        sa = rungs[2].transform(cfg)
+        assert sa.mg_levels == 1 and sa.coarse_solver == "sa"
+        jac = rungs[3].transform(cfg)
+        assert jac.velocity_pc == "jacobi"
+        assert jac.outer == "fgmres"
+        assert jac.maxiter == 200
+
+
+# --------------------------------------------------------------------- #
+# stokes-level fallback
+# --------------------------------------------------------------------- #
+def _tiny_problem():
+    return sinker_stokes_problem(
+        SinkerConfig(shape=(3, 3, 3), n_spheres=1, radius=0.2, delta_eta=10.0)
+    )
+
+
+class TestStokesResilient:
+    CFG = StokesConfig(mg_levels=1, coarse_solver="lu", maxiter=200)
+
+    def test_clean_path_no_events(self):
+        pb = _tiny_problem()
+        sol = solve_stokes_resilient(pb, self.CFG)
+        assert sol.converged
+        assert sol.reason.is_converged
+        assert "fallback_events" not in sol.extra
+
+    def test_jacobi_velocity_pc_solves(self):
+        pb = _tiny_problem()
+        cfg = StokesConfig(velocity_pc="jacobi", outer="fgmres", maxiter=3000,
+                           rtol=1e-4)
+        sol = solve_stokes(pb, cfg)
+        assert sol.converged
+        assert np.isfinite(sol.u).all() and np.isfinite(sol.p).all()
+
+    def test_nan_preconditioner_falls_back(self):
+        pb = _tiny_problem()
+        with FaultInjector() as fi:
+            # poison every PC apply of the first (primary) attempt only
+            fi.poison_nan(FieldSplitPreconditioner, "__call__", calls={1},
+                          mode="all")
+            sol = solve_stokes_resilient(pb, self.CFG)
+        assert fi.fired
+        assert sol.converged
+        assert np.isfinite(sol.u).all() and np.isfinite(sol.p).all()
+        events = sol.extra["fallback_events"]
+        assert events[0]["rung"] == "primary"
+        assert events[0]["reason"] == "DIVERGED_NAN"
+        assert events[0]["next"] == "assembled-gmg"
+
+    def test_fallback_records_obs_events(self):
+        pb = _tiny_problem()
+        obs.reset()
+        obs.enable()
+        try:
+            with FaultInjector() as fi:
+                fi.poison_nan(FieldSplitPreconditioner, "__call__", calls={1},
+                              mode="all")
+                sol = solve_stokes_resilient(pb, self.CFG)
+        finally:
+            obs.disable()
+        assert sol.converged
+        names = {e.name for e in obs.REGISTRY.events.values()}
+        assert "ResilienceFallback[primary]" in names
+        trace = obs.REGISTRY.traces["resilience"]
+        assert any(t["event"] == "fallback" and t["rung"] == "primary"
+                   for t in trace)
+        doc = obs.snapshot()
+        obs.validate(doc)  # resilience stream passes the schema
+        obs.reset()
+
+
+# --------------------------------------------------------------------- #
+# checkpoint robustness
+# --------------------------------------------------------------------- #
+def _chk_sim():
+    return make_sinker(
+        SinkerConfig(shape=(3, 3, 3), n_spheres=1, radius=0.2,
+                     delta_eta=10.0),
+        SimulationConfig(stokes=StokesConfig(mg_levels=1, coarse_solver="lu"),
+                         max_newton=1),
+    )
+
+
+class TestCheckpointRobustness:
+    def test_save_is_atomic_no_temp_left(self, tmp_path):
+        sim = _chk_sim()
+        path = str(tmp_path / "chk.npz")
+        save_checkpoint(path, sim)
+        assert os.path.exists(path)
+        assert glob.glob(str(tmp_path / "*.tmp.*")) == []
+
+    def test_save_appends_npz(self, tmp_path):
+        sim = _chk_sim()
+        path = str(tmp_path / "chk")
+        save_checkpoint(path, sim)
+        assert os.path.exists(path + ".npz")
+        sim2 = _chk_sim()
+        load_checkpoint(path, sim2)  # loader resolves the same name
+        assert np.allclose(sim2.u, sim.u)
+
+    def test_failed_save_leaves_previous_checkpoint(self, tmp_path):
+        sim = _chk_sim()
+        path = str(tmp_path / "chk.npz")
+        save_checkpoint(path, sim)
+        before = open(path, "rb").read()
+        with FaultInjector() as fi:
+            fi.fail_with(type(sim.points), "field", OSError("disk full"))
+            sim.points.add_field("doomed", np.ones(sim.points.n))
+            with pytest.raises(OSError):
+                save_checkpoint(path, sim)
+        assert open(path, "rb").read() == before
+        assert glob.glob(str(tmp_path / "*.tmp.*")) == []
+
+    def test_truncated_checkpoint_raises_cleanly(self, tmp_path):
+        sim = _chk_sim()
+        sim.step()
+        path = str(tmp_path / "chk.npz")
+        save_checkpoint(path, sim)
+        FaultInjector.truncate_file(path, keep_fraction=0.5)
+        sim2 = _chk_sim()
+        u0, p0 = sim2.u.copy(), sim2.p.copy()
+        t0, i0, n0 = sim2.time, sim2.step_index, sim2.points.n
+        with pytest.raises(ValueError, match="unreadable or truncated"):
+            load_checkpoint(path, sim2)
+        # sim2 untouched: validation happened before any mutation
+        assert np.array_equal(sim2.u, u0) and np.array_equal(sim2.p, p0)
+        assert sim2.time == t0 and sim2.step_index == i0
+        assert sim2.points.n == n0
+
+    def test_garbage_file_raises_value_error(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"this is not a zip archive")
+        with pytest.raises(ValueError, match="unreadable or truncated"):
+            load_checkpoint(path, _chk_sim())
+
+    def test_T_none_roundtrip(self, tmp_path):
+        # sinker has no energy solve: T is None and must come back None,
+        # not as a zero-length array (the old lossy convention)
+        sim = _chk_sim()
+        assert sim.T is None
+        path = str(tmp_path / "chk.npz")
+        save_checkpoint(path, sim)
+        sim2 = _chk_sim()
+        sim2.T = np.ones(8)  # poison: the load must reset it to None
+        load_checkpoint(path, sim2)
+        assert sim2.T is None
+
+    def test_state_dict_restore_roundtrip_in_memory(self):
+        sim = _chk_sim()
+        sim.step()
+        snap = state_dict(sim)
+        u, p, t, i = sim.u.copy(), sim.p.copy(), sim.time, sim.step_index
+        sim.step()  # evolve past the snapshot
+        restore_state(sim, snap)
+        assert np.array_equal(sim.u, u) and np.array_equal(sim.p, p)
+        assert sim.time == t and sim.step_index == i
+
+    def test_restore_rejects_missing_key(self):
+        sim = _chk_sim()
+        snap = state_dict(sim)
+        del snap["u"]
+        with pytest.raises(ValueError, match="missing required key"):
+            restore_state(sim, snap)
+
+
+# --------------------------------------------------------------------- #
+# executor crash recovery
+# --------------------------------------------------------------------- #
+class _SquareKernel:
+    """Trivial deterministic span kernel for crash tests."""
+
+    _parallel_state_version = 0
+
+    def __init__(self, n):
+        self.n = n
+
+    def apply_span(self, u, s, e):
+        out = np.zeros(self.n)
+        out[s:e] = u[s:e] ** 2 + 3.0 * u[s:e]
+        return out
+
+
+@pytest.mark.skipif(os.name != "posix", reason="fork backend is POSIX-only")
+class TestExecutorCrashRecovery:
+    def test_worker_kill_recovers_bit_identical(self, tmp_path):
+        n = 64
+        state = _SquareKernel(n)
+        killer = WorkerKiller(state, "apply_span",
+                              str(tmp_path / "kill.sentinel"))
+        ex = ParallelExecutor(workers=2, backend="process")
+        try:
+            spans = partition_range(n, 2)
+            u = np.linspace(-1.0, 1.0, n)
+            got = ex.dispatch(killer, "kernel", spans, u, out_len=n)
+            want = ParallelExecutor.run_serial(state, "apply_span", spans, u,
+                                               [n] * len(spans))
+            assert np.array_equal(got, want)  # bit-identical after respawn
+            assert ex.stats.crashes == 1
+            assert ex.stats.respawns >= 1
+            assert os.path.exists(str(tmp_path / "kill.sentinel"))
+        finally:
+            ex.shutdown()
+
+    def test_retry_disabled_raises(self, tmp_path):
+        n = 16
+        state = _SquareKernel(n)
+        killer = WorkerKiller(state, "apply_span",
+                              str(tmp_path / "kill2.sentinel"))
+        ex = ParallelExecutor(workers=2, backend="process",
+                              retry_on_crash=False)
+        try:
+            with pytest.raises(WorkerCrash):
+                ex.dispatch(killer, "kernel", partition_range(n, 2),
+                            np.ones(n), out_len=n)
+        finally:
+            ex.shutdown()
+
+    def test_crash_counter_in_stats_dict(self):
+        ex = ParallelExecutor(workers=1)
+        assert "crashes" in ex.stats.as_dict()
+
+
+# --------------------------------------------------------------------- #
+# time-loop self-healing
+# --------------------------------------------------------------------- #
+def _resilient_sinker(**kw):
+    sim = make_sinker(
+        SinkerConfig(shape=(3, 3, 3), n_spheres=1, radius=0.2,
+                     delta_eta=10.0),
+        SimulationConfig(stokes=StokesConfig(mg_levels=1, coarse_solver="lu"),
+                         max_newton=1, resilient=True, **kw),
+    )
+    return sim
+
+
+class TestTimeLoopRollback:
+    def test_clean_steps_have_zero_retries(self):
+        sim = _resilient_sinker()
+        stats = sim.step()
+        assert stats["retries"] == 0
+        assert stats["dt_scale"] == 1.0
+        assert stats["newton_reason"] in ("CONVERGED_RTOL", "CONVERGED_ATOL",
+                                          "DIVERGED_ITS")
+
+    def test_nan_step_rolls_back_and_halves_dt(self):
+        sim = _resilient_sinker()
+        sim.step()  # one clean step to have nontrivial state
+        u, t, i = sim.u.copy(), sim.time, sim.step_index
+        with FaultInjector() as fi:
+            fi.poison_nan(StokesOperator, "residual", mode="all", limit=1,
+                          when=lambda: sim.step_index == i)
+            stats = sim.step()
+        assert fi.fired
+        assert stats["retries"] == 1
+        assert stats["dt_scale"] == 0.5
+        assert sim.step_index == i + 1
+        assert np.isfinite(sim.u).all() and np.isfinite(sim.p).all()
+
+    def test_dt_recovers_after_clean_steps(self):
+        sim = _resilient_sinker(dt_recover_after=1)
+        i0 = sim.step_index
+        with FaultInjector() as fi:
+            fi.poison_nan(StokesOperator, "residual", mode="all", limit=1,
+                          when=lambda: sim.step_index == i0)
+            sim.step()
+        assert sim._dt_scale == 0.5
+        sim.step()  # clean -> one back-off factor undone
+        assert sim._dt_scale == 1.0
+
+    def test_persistent_failure_raises_after_budget(self):
+        sim = _resilient_sinker(max_step_retries=2)
+        with FaultInjector() as fi:
+            fi.poison_nan(StokesOperator, "residual", mode="all")
+            with pytest.raises(BreakdownError, match="failed after 3 attempts"):
+                sim.step()
+        # the evolving state was restored to the pre-step snapshot
+        assert sim.step_index == 0
+        assert np.isfinite(sim.u).all()
+
+    def test_rollback_traced(self):
+        sim = _resilient_sinker()
+        obs.reset()
+        obs.enable()
+        try:
+            with FaultInjector() as fi:
+                fi.poison_nan(StokesOperator, "residual", mode="all", limit=1)
+                sim.step()
+        finally:
+            obs.disable()
+        trace = obs.REGISTRY.traces["resilience"]
+        assert any(t["event"] == "rollback" for t in trace)
+        names = {e.name for e in obs.REGISTRY.events.values()}
+        assert "ResilienceRollback" in names
+        obs.reset()
+
+    def test_non_resilient_step_unchanged(self):
+        sim = make_sinker(
+            SinkerConfig(shape=(3, 3, 3), n_spheres=1, radius=0.2,
+                         delta_eta=10.0),
+            SimulationConfig(stokes=StokesConfig(mg_levels=1,
+                                                 coarse_solver="lu"),
+                             max_newton=1),
+        )
+        stats = sim.step()
+        assert stats["retries"] == 0
+        assert "newton_reason" in stats
+
+
+# --------------------------------------------------------------------- #
+# acceptance: rifting run survives injected faults end to end
+# --------------------------------------------------------------------- #
+class TestRiftingSurvivesFaults:
+    def test_six_steps_with_nan_fault_and_newton_divergence(self):
+        cfg = RiftingConfig(shape=(6, 4, 2), mg_levels=1)
+        sim = make_rifting(cfg)
+        sim.config.resilient = True
+        obs.reset()
+        obs.enable()
+        nsteps = 6
+        try:
+            with FaultInjector() as fi:
+                # step 3 (index 2): poisoned preconditioner output drives
+                # the outer Krylov solve to DIVERGED_NAN -> fallback ladder
+                fi.poison_nan(FieldSplitPreconditioner, "__call__",
+                              mode="all", limit=1,
+                              when=lambda: sim.step_index == 2,
+                              label="nan:pc")
+                # step 5 (index 4): poisoned nonlinear residual forces a
+                # hard Newton failure -> snapshot rollback with dt halving
+                fi.poison_nan(StokesOperator, "residual", mode="all",
+                              limit=1, when=lambda: sim.step_index == 4,
+                              label="nan:newton")
+                stats = [sim.step() for _ in range(nsteps)]
+            report = obs.log_view()
+        finally:
+            obs.disable()
+        fired = {f["label"] for f in fi.fired}
+        assert fired == {"nan:pc", "nan:newton"}
+        # the run completed every step
+        assert sim.step_index == nsteps
+        assert len(stats) == nsteps
+        # recovery actually happened: fallback on step 3, rollback on step 5
+        assert any(s["fallback_events"] for s in stats)
+        assert any(s["retries"] > 0 for s in stats)
+        # recovery events appear in the -log_view report
+        assert "ResilienceFallback[primary]" in report
+        assert "ResilienceRollback" in report
+        trace = obs.REGISTRY.traces["resilience"]
+        assert any(t["event"] == "fallback" for t in trace)
+        assert any(t["event"] == "rollback" for t in trace)
+        # final fields are finite
+        assert np.isfinite(sim.u).all()
+        assert np.isfinite(sim.p).all()
+        assert np.isfinite(sim.T).all()
+        obs.reset()
