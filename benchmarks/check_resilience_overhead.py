@@ -12,6 +12,11 @@ pure overhead:
    their defaults against the same solve with both disabled
    (``dtol=0, stag_window=0``), on a fixed SPD system -- bounding the
    per-iteration cost of the two scalar compares.
+3. **Health gates**: one time step with the full physics-state health
+   subsystem enabled (``health=HealthConfig()``: mesh validity gates at
+   Gauss points and corners, particle census/injection, field bound
+   guards, divergence monitor) against the identical step with
+   ``health=None``, on a free-surface sinker where every gate passes.
 
 Pairs alternate order so monotone machine drift cannot charge one side;
 the overhead estimate is the smallest of three robust estimators (ratio
@@ -29,6 +34,7 @@ import time
 
 import numpy as np
 
+from repro.resilience import HealthConfig
 from repro.sim import SimulationConfig
 from repro.sim.sinker import SinkerConfig, make_sinker
 from repro.solvers import gcr
@@ -54,6 +60,33 @@ def step_once(resilient: bool) -> float:
     assert np.isfinite(sim.u).all(), "clean step must stay finite"
     if resilient:
         assert stats["retries"] == 0, "clean step must not retry"
+    return elapsed
+
+
+def _health_sim(health_on: bool):
+    return make_sinker(
+        SinkerConfig(shape=(4, 4, 4), n_spheres=2, radius=0.15,
+                     delta_eta=100.0),
+        SimulationConfig(
+            stokes=StokesConfig(mg_levels=2, coarse_solver="lu"),
+            max_newton=1, free_surface=True,
+            health=HealthConfig(eta_bounds=(1e-8, 1e8),
+                                rho_bounds=(1e-8, 1e8))
+            if health_on else None,
+        ),
+    )
+
+
+def health_step_once(health_on: bool) -> float:
+    sim = _health_sim(health_on)
+    t0 = time.perf_counter()
+    stats = sim.step()
+    elapsed = time.perf_counter() - t0
+    assert np.isfinite(sim.u).all(), "clean step must stay finite"
+    if health_on:
+        h = stats["health"]
+        assert h["clipped"] == 0 and h["mesh_repairs"] == 0, \
+            "clean step must not trigger repairs"
     return elapsed
 
 
@@ -114,6 +147,9 @@ def main(argv=None) -> int:
     A, b = _spd()
     ok &= measure("gcr-guards", lambda guarded: gcr_once(guarded, A, b),
                   args.rounds, args.max_overhead)
+
+    ok &= measure("health-gates", health_step_once, args.rounds,
+                  args.max_overhead)
 
     if not ok:
         print("FAIL: resilience clean-path overhead above limit")

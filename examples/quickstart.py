@@ -13,7 +13,12 @@ preconditioner mid-run and a second one into the Newton residual two steps
 later: the first drives the linear solve to ``DIVERGED_NAN`` and down the
 preconditioner fallback ladder, the second triggers a time-step rollback
 with dt halving -- a live demo of the resilience layer recovering a run
-that would otherwise die.
+that would otherwise die.  ``--inject-fault KIND`` selects a physics-state
+fault instead (``fold_surface``, ``starve_cells``, ``poison_viscosity``):
+the free surface is folded through the bottom, elements are starved of
+material points, or the projected viscosity is corrupted, and the health
+gates (``SimulationConfig(health=HealthConfig())``) detect and repair the
+damage -- mesh repair ladder, point injection, or bound clipping.
 
 With ``--log-view`` the run is profiled through ``repro.obs`` (the
 PETSc-style observability layer): a few material-point time steps ride
@@ -128,6 +133,56 @@ def inject_fault_run() -> None:
     obs.reset()
 
 
+def inject_physics_fault_run(kind: str) -> None:
+    """Survive one injected physics-state fault via the health gates."""
+    from repro import FaultInjector, HealthConfig, SimulationConfig, obs
+    from repro.sim.sinker import SinkerConfig, make_sinker
+
+    obs.enable()
+    sim = make_sinker(
+        SinkerConfig(shape=(4, 4, 4)),
+        SimulationConfig(
+            stokes=StokesConfig(mg_levels=2, coarse_solver="lu"),
+            free_surface=True, resilient=True,
+            health=HealthConfig(eta_bounds=(1e-6, 1e6)),
+        ),
+    )
+    nsteps = 3
+    with FaultInjector() as fi:
+        fire = {"when": lambda: sim.step_index == 1, "limit": 1}
+        if kind == "fold_surface":
+            fi.fold_surface(sim.mesh, depth=0.2, **fire)
+        elif kind == "starve_cells":
+            fi.starve_cells(sim, elements=np.arange(8), **fire)
+        else:
+            fi.poison_viscosity(mode="spike", factor=1e12, **fire)
+        for _ in range(nsteps):
+            stats = sim.step()
+            h = stats["health"]
+            extra = "".join(
+                f"  [{k}: {h[k]}]" for k in
+                ("mesh_repairs", "injected", "clipped") if h.get(k)
+            )
+            if stats["retries"]:
+                extra += f"  [rolled back x{stats['retries']}]"
+            print(f"step {sim.step_index}: newton={stats['newton_reason']}"
+                  f"{extra}")
+    assert fi.fired, f"{kind} fault never fired"
+    assert sim.step_index == nsteps
+    assert np.isfinite(sim.u).all() and np.isfinite(sim.p).all()
+    assert np.isfinite(sim.points.x).all()
+    s = sim.health.stats
+    repaired = s["mesh_repairs"] + s["injected"] + s["clipped"] \
+        + s["rejections"]
+    assert repaired > 0, "health gates saw nothing to repair"
+    recovery = [t["event"] for t in obs.REGISTRY.traces["resilience"]
+                if t["event"].startswith("health_")]
+    print(f"\nrun completed {nsteps}/{nsteps} steps despite the {kind} "
+          f"fault; health events: {recovery}")
+    obs.disable()
+    obs.reset()
+
+
 def main(workers: int | None = None):
     mesh = StructuredMesh((8, 8, 8), order=2)  # Q2 velocity, P1disc pressure
 
@@ -169,13 +224,20 @@ if __name__ == "__main__":
              "$REPRO_WORKERS or serial); results are identical to serial",
     )
     parser.add_argument(
-        "--inject-fault", action="store_true",
-        help="inject deterministic NaN faults into a short run and show "
-             "the fallback ladder and time-step rollback recovering it",
+        "--inject-fault", nargs="?", const="nan", default=None,
+        choices=["nan", "fold_surface", "starve_cells", "poison_viscosity"],
+        metavar="KIND",
+        help="inject a deterministic fault into a short run and show the "
+             "resilience layer recovering it: 'nan' (default) exercises "
+             "the preconditioner fallback ladder and time-step rollback; "
+             "'fold_surface', 'starve_cells' and 'poison_viscosity' "
+             "exercise the physics-state health gates",
     )
     args = parser.parse_args()
     main(workers=args.workers)
     if args.log_view:
         log_view_run()
-    if args.inject_fault:
+    if args.inject_fault == "nan":
         inject_fault_run()
+    elif args.inject_fault is not None:
+        inject_physics_fault_run(args.inject_fault)

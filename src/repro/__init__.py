@@ -69,6 +69,8 @@ from .resilience import (
     ConvergedReason,
     FallbackLadder,
     FaultInjector,
+    HealthCheckFailure,
+    HealthConfig,
 )
 from . import obs
 
@@ -117,6 +119,8 @@ __all__ = [
     "ConvergedReason",
     "FallbackLadder",
     "FaultInjector",
+    "HealthCheckFailure",
+    "HealthConfig",
     "Simulation",
     "SimulationConfig",
     "make_sinker",

@@ -1,15 +1,21 @@
-"""ALE mesh updates: deforming free surface and vertical remeshing."""
+"""ALE mesh updates: deforming free surface, remeshing, and health metrics."""
 
 from .freesurface import (
     update_free_surface,
     remesh_vertical,
+    smooth_surface,
     surface_topography,
+    surface_fold_report,
+    detj_at_vertices,
     mesh_quality,
 )
 
 __all__ = [
     "update_free_surface",
     "remesh_vertical",
+    "smooth_surface",
     "surface_topography",
+    "surface_fold_report",
+    "detj_at_vertices",
     "mesh_quality",
 ]

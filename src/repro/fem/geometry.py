@@ -24,6 +24,20 @@ def jacobians(coords_el: np.ndarray, dN: np.ndarray) -> np.ndarray:
     return np.einsum("qad,nac->nqcd", dN, coords_el, optimize=True)
 
 
+def det_3x3(J: np.ndarray) -> np.ndarray:
+    """Batched determinant of 3x3 matrices (no inverse, safe for detJ <= 0).
+
+    ``J`` has shape ``(..., 3, 3)``.  Unlike :func:`invert_3x3` this never
+    divides by the determinant, so it is the right primitive for mesh
+    validity checks that must report non-positive Jacobians instead of
+    producing infinities.
+    """
+    a, b, c = J[..., 0, 0], J[..., 0, 1], J[..., 0, 2]
+    d, e, f = J[..., 1, 0], J[..., 1, 1], J[..., 1, 2]
+    g, h, i = J[..., 2, 0], J[..., 2, 1], J[..., 2, 2]
+    return a * (e * i - f * h) - b * (d * i - f * g) + c * (d * h - e * g)
+
+
 def invert_3x3(J: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Batched inverse and determinant of 3x3 matrices.
 

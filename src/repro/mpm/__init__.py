@@ -13,7 +13,12 @@ from .points import MaterialPoints, seed_points
 from .location import invert_map, locate_points
 from .projection import project_to_corners, project_to_quadrature
 from .advection import interpolate_velocity, advect_points
-from .migration import migrate_points, count_points_per_element, populate_empty_cells
+from .migration import (
+    migrate_points,
+    count_points_per_element,
+    populate_empty_cells,
+    thin_overcrowded_cells,
+)
 
 __all__ = [
     "MaterialPoints",
@@ -27,4 +32,5 @@ __all__ = [
     "migrate_points",
     "count_points_per_element",
     "populate_empty_cells",
+    "thin_overcrowded_cells",
 ]

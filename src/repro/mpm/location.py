@@ -122,4 +122,16 @@ def locate_points(
             break
     # anything still unresolved after max_walk is treated as lost
     lost[active] = True
+    if hints is not None and lost.any():
+        # a hinted walk can die on a non-convex boundary (a free-surface
+        # valley between the hint and the target column reads as "left
+        # through the top"); retry those once from the bounding-box guess
+        # before flagging outflow
+        retry = np.flatnonzero(lost)
+        els_r, xi_r, lost_r = locate_points(
+            mesh, x[retry], hints=None, max_walk=max_walk
+        )
+        els[retry] = els_r
+        xi[retry] = xi_r
+        lost[retry] = lost_r
     return els, xi, lost

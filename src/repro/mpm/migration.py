@@ -32,6 +32,7 @@ def migrate_points(
     decomp: BlockDecomposition,
     comm: VirtualComm,
     rank_points: list[MaterialPoints],
+    audit: bool = True,
 ) -> tuple[list[MaterialPoints], int]:
     """Run one migration round over per-rank point sets.
 
@@ -39,8 +40,18 @@ def migrate_points(
     updated, ``el`` caches refreshed by :func:`advect_points`; points that
     left the global domain have ``el == -1``).  Returns the new per-rank
     point sets and the number of points deleted (left the domain).
+
+    With ``audit=True`` (default) the round ends with a global
+    conservation check: every point present before the round must either
+    still exist on exactly one rank or be accounted for as domain outflow.
+    A mismatch -- a point silently dropped because its new owner is not a
+    neighbor of the sender (a CFL violation the flooding protocol cannot
+    express), or a duplicate claim -- raises
+    :class:`~repro.resilience.reasons.HealthCheckFailure` instead of
+    corrupting the material state for the rest of the run.
     """
     mesh = decomp.mesh
+    total_before = sum(pts.n for pts in rank_points)
     deleted = 0
     # phase 1: every rank identifies and sends its L_s
     for rank in range(decomp.nranks):
@@ -74,6 +85,21 @@ def migrate_points(
             # everything else in L_r is deleted by this receiver (it is
             # either owned elsewhere -- that rank got its own copy -- or
             # outside the domain)
+    if audit:
+        total_after = sum(pts.n for pts in rank_points)
+        unaccounted = total_before - deleted - total_after
+        if unaccounted != 0:
+            from ..resilience.reasons import HealthCheckFailure
+
+            kind = "lost" if unaccounted > 0 else "duplicated"
+            raise HealthCheckFailure(
+                f"migration conservation violated: {abs(unaccounted)} "
+                f"point(s) {kind} ({total_before} before, {deleted} outflow, "
+                f"{total_after} after)",
+                check="particles",
+                details={"before": total_before, "deleted": deleted,
+                         "after": total_after, "unaccounted": unaccounted},
+            )
     return rank_points, deleted
 
 
@@ -85,7 +111,7 @@ def populate_empty_cells(
     points_per_dim: int = 2,
     nodal_fields: dict[str, np.ndarray] | None = None,
     rng: np.random.Generator | None = None,
-) -> int:
+) -> dict:
     """Population control: inject points into depleted elements.
 
     Large deformation can empty elements of material points, leaving the
@@ -93,7 +119,14 @@ def populate_empty_cells(
     sub-lattice of each depleted element; per-point properties are
     interpolated from corner-lattice ``nodal_fields`` (e.g. the last
     projected lithology/strain fields) when provided, else copied from the
-    globally nearest existing point.  Returns the number injected.
+    globally nearest existing point.  A field *missing* from a provided
+    ``nodal_fields`` dict also falls back to the nearest-point copy, so a
+    partial dict never leaves seed defaults (lithology 0, zero strain) in
+    the injected points.
+
+    Returns a breakdown dict -- ``{"total", "elements", "per_lithology"}``
+    with per-lithology injection counts -- which the health layer attaches
+    to its ``HealthInject`` obs event.
     """
     from .points import seed_points
     from .projection import interpolate_nodal_at_points
@@ -101,27 +134,121 @@ def populate_empty_cells(
     counts = count_points_per_element(mesh, points)
     depleted = np.flatnonzero(counts < min_per_element)
     if depleted.size == 0:
-        return 0
+        return {"total": 0, "elements": 0, "per_lithology": {}}
     template = seed_points(mesh, points_per_dim=points_per_dim, rng=rng)
     sel = np.isin(template.el, depleted)
     new = template.subset(np.flatnonzero(sel))
-    if nodal_fields:
-        if "lithology" in nodal_fields:
-            vals = interpolate_nodal_at_points(
-                mesh, nodal_fields["lithology"], new.el, new.xi
-            )
-            new.lithology = np.rint(vals).astype(np.int32)
-        if "plastic_strain" in nodal_fields:
-            new.plastic_strain = interpolate_nodal_at_points(
-                mesh, nodal_fields["plastic_strain"], new.el, new.xi
-            )
-    elif points.n:
+
+    nearest = None
+    if points.n:
         # nearest-existing-point copy (brute force is fine at our scales)
         from scipy.spatial import cKDTree
 
-        tree = cKDTree(points.x)
-        _, nearest = tree.query(new.x)
+        _, nearest = cKDTree(points.x).query(new.x)
+    nodal_fields = nodal_fields or {}
+    if "lithology" in nodal_fields:
+        vals = interpolate_nodal_at_points(
+            mesh, nodal_fields["lithology"], new.el, new.xi
+        )
+        new.lithology = np.rint(vals).astype(np.int32)
+    elif nearest is not None:
         new.lithology = points.lithology[nearest].copy()
+    if "plastic_strain" in nodal_fields:
+        new.plastic_strain = interpolate_nodal_at_points(
+            mesh, nodal_fields["plastic_strain"], new.el, new.xi
+        )
+    elif nearest is not None:
         new.plastic_strain = points.plastic_strain[nearest].copy()
     points.extend(new)
-    return new.n
+    liths, lith_counts = np.unique(new.lithology, return_counts=True)
+    return {
+        "total": int(new.n),
+        "elements": int(depleted.size),
+        "per_lithology": {int(l): int(c) for l, c in zip(liths, lith_counts)},
+    }
+
+
+def _farthest_point_keep(x: np.ndarray, k: int) -> np.ndarray:
+    """Indices of ``k`` rows of ``x`` chosen by greedy farthest-point
+    sampling (deterministic: seeded from the point farthest from the
+    centroid, ties broken by lowest index via ``argmax``)."""
+    n = x.shape[0]
+    if k >= n:
+        return np.arange(n)
+    d2 = ((x - x.mean(axis=0)) ** 2).sum(axis=1)
+    keep = [int(np.argmax(d2))]
+    mind = ((x - x[keep[0]]) ** 2).sum(axis=1)
+    for _ in range(k - 1):
+        nxt = int(np.argmax(mind))
+        keep.append(nxt)
+        mind = np.minimum(mind, ((x - x[nxt]) ** 2).sum(axis=1))
+    return np.sort(np.asarray(keep))
+
+
+@instrument("MPMThin")
+def thin_overcrowded_cells(
+    mesh,
+    points: MaterialPoints,
+    max_per_element: int,
+) -> dict:
+    """Population control, other direction: thin overcrowded elements.
+
+    Converging flow piles points up (hundreds per element near a
+    subducting interface), which slows every projection and advection pass
+    and biases the Eq. 12 reconstruction toward the crowded corner.  Each
+    element above ``max_per_element`` is downsampled to exactly that
+    budget, deterministically:
+
+    * the per-element keep budget is apportioned across lithologies by
+      largest remainder (every present lithology keeps at least one
+      point), so material fractions survive the thinning;
+    * within a lithology the survivors are chosen by greedy farthest-point
+      sampling, which preserves spatial coverage instead of, say, keeping
+      an arbitrary contiguous slice.
+
+    Returns ``{"removed", "elements", "per_lithology"}`` (removal counts).
+    """
+    if max_per_element < 1:
+        raise ValueError("max_per_element must be >= 1")
+    counts = count_points_per_element(mesh, points)
+    crowded = np.flatnonzero(counts > max_per_element)
+    if crowded.size == 0:
+        return {"removed": 0, "elements": 0, "per_lithology": {}}
+    drop = np.zeros(points.n, dtype=bool)
+    order = np.argsort(points.el, kind="stable")
+    starts = np.searchsorted(points.el[order], crowded)
+    for el, s in zip(crowded, starts):
+        idx = order[s:s + counts[el]]  # rows of `points` in element `el`
+        liths = points.lithology[idx]
+        uliths, ucounts = np.unique(liths, return_counts=True)
+        # largest-remainder apportionment of the keep budget, floored at 1
+        exact = max_per_element * ucounts / idx.size
+        quota = np.maximum(np.floor(exact).astype(int), 1)
+        rest = max_per_element - int(quota.sum())
+        if rest > 0:
+            frac = exact - np.floor(exact)
+            # ties broken by lithology id (np.argsort is stable on -frac)
+            for j in np.argsort(-frac, kind="stable")[:rest]:
+                quota[j] += 1
+        elif rest < 0:
+            # the at-least-one floor overshot: trim from the largest quotas
+            for j in np.argsort(-quota, kind="stable"):
+                if rest == 0:
+                    break
+                if quota[j] > 1:
+                    quota[j] -= 1
+                    rest += 1
+        for lith, k in zip(uliths, quota):
+            rows = idx[liths == lith]
+            if rows.size > k:
+                kept = rows[_farthest_point_keep(points.x[rows], int(k))]
+                drop[rows] = True
+                drop[kept] = False
+    removed = points.lithology[drop]
+    liths, lith_counts = np.unique(removed, return_counts=True)
+    points.remove(drop)
+    return {
+        "removed": int(removed.size),
+        "elements": int(crowded.size),
+        "per_lithology": {int(l): int(c) for l, c in zip(liths, lith_counts)},
+    }

@@ -11,9 +11,17 @@ taxonomy and recovery"):
 * :mod:`~repro.resilience.fallback` -- the configurable preconditioner
   downgrade ladder (matrix-free GMG -> assembled GMG -> SA-AMG -> Jacobi
   restart) used by ``solve_stokes_resilient``;
+* :mod:`~repro.resilience.health` -- physics-state invariant monitoring
+  and guarded degradation: mesh validity gates with a remesh/smoothing
+  repair ladder, material-point census/thinning/injection with a
+  conservation audit, projected-field bound guards, and a discrete
+  divergence monitor, all wired into the time loop via
+  ``SimulationConfig(health=HealthConfig())``;
 * :mod:`~repro.resilience.inject` -- deterministic fault injection
-  (NaN matvecs, singular diagonals, worker kills, truncated checkpoints)
-  for the adversarial test suite and the quickstart demo.
+  (NaN matvecs, singular diagonals, worker kills, truncated checkpoints,
+  plus the physics-level ``fold_surface`` / ``starve_cells`` /
+  ``poison_viscosity`` modes) for the adversarial test suite and the
+  quickstart demo.
 
 Time-loop self-healing (snapshot + dt rollback) lives with the time loop
 in :mod:`repro.sim.timeloop`; it consumes this package's reasons and
@@ -23,6 +31,7 @@ records through the same obs trace stream.
 from .reasons import (
     BreakdownError,
     ConvergedReason,
+    HealthCheckFailure,
     converged_reason,
     nonfinite,
 )
@@ -34,11 +43,16 @@ from .fallback import (
     Rung,
     default_rungs,
 )
+from .health import HealthConfig, HealthMonitor, guard_field
 from .inject import FaultInjector, WorkerKiller
 
 __all__ = [
     "BreakdownError",
     "ConvergedReason",
+    "HealthCheckFailure",
+    "HealthConfig",
+    "HealthMonitor",
+    "guard_field",
     "converged_reason",
     "nonfinite",
     "DEFAULT_DTOL",

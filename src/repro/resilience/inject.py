@@ -170,6 +170,100 @@ class FaultInjector:
         self.install(owner, method, action, calls=calls, when=when,
                      limit=limit, label=label or f"raise:{method}")
 
+    # -- physics-state faults -------------------------------------------- #
+    def fold_surface(self, mesh, depth: float = 0.1,
+                     span: tuple[float, float] = (1 / 3, 2 / 3),
+                     calls: set[int] | None = None,
+                     when: Callable | None = None, limit: int | None = 1,
+                     label: str | None = None) -> None:
+        """Fold the free surface through the bottom after a surface update.
+
+        Patches the time loop's ``update_free_surface`` so that, when
+        triggered, a central band of the top plane (``span`` in fractional
+        x) is driven ``depth`` *below the bottom plane* -- the
+        bottom-crossing, column-inverting fold a violently converging
+        surface velocity produces.  Without health guards this writes an
+        inverted mesh (or raises from ``remesh_vertical``); with them the
+        repair ladder must clamp/smooth or hand the step to rollback.
+        """
+        from ..sim import timeloop
+
+        def action(result):
+            nnx, nny, nnz = mesh.nodes_per_dim
+            coords = mesh.coords.copy().reshape(nnz, nny, nnx, 3)
+            i0 = int(span[0] * nnx)
+            i1 = max(i0 + 1, int(span[1] * nnx))
+            coords[-1, :, i0:i1, 2] = coords[0, :, i0:i1, 2] - depth
+            mesh.set_coords(coords.reshape(-1, 3))
+            return coords[-1, :, :, 2]
+
+        self.install(timeloop, "update_free_surface", action, calls=calls,
+                     when=when, limit=limit, label=label or "fold:surface")
+
+    def starve_cells(self, sim, elements, calls: set[int] | None = None,
+                     when: Callable | None = None, limit: int | None = 1,
+                     label: str | None = None) -> None:
+        """Starve ``elements`` of every material point after an advection.
+
+        Patches the time loop's ``advect_points`` to flag all points in
+        the target elements as lost, so the caller deletes them -- the
+        population collapse that large deformation produces and the
+        particle gate must repair by injection (``HealthInject``).
+        ``sim`` is read at fire time, so the fault survives rollback
+        restores that replace the point container.
+        """
+        from ..sim import timeloop
+
+        targets = np.asarray(elements, dtype=np.int64)
+
+        def action(result):
+            return np.asarray(result, dtype=bool) | np.isin(
+                sim.points.el, targets
+            )
+
+        self.install(timeloop, "advect_points", action, calls=calls,
+                     when=when, limit=limit, label=label or "starve:cells")
+
+    def poison_viscosity(self, mode: str = "spike", factor: float = 1e12,
+                         fraction: float = 0.02,
+                         calls: set[int] | None = None,
+                         when: Callable | None = None,
+                         limit: int | None = 1,
+                         label: str | None = None) -> None:
+        """Corrupt a projected coefficient field (Eq. 12 output).
+
+        Patches the time loop's ``project_to_quadrature``; the *first*
+        projection of a ``quadrature_fields`` evaluation is the effective
+        viscosity, so ``when=lambda: sim.step_index == k`` with
+        ``limit=1`` poisons exactly one step's viscosity.  ``mode``:
+        ``"spike"`` multiplies the leading ``fraction`` of quadrature
+        values by ``factor`` (the wild outlier a broken flow law emits),
+        ``"negative"`` flips their sign (non-physical, kills SPD-ness),
+        ``"nan"`` replaces them with NaN.  The field guard must clip or
+        reject each of these before the operator consumes it.
+        """
+        if mode not in ("spike", "negative", "nan"):
+            raise ValueError(
+                f"mode must be 'spike', 'negative' or 'nan', got {mode!r}"
+            )
+        from ..sim import timeloop
+
+        def action(result):
+            out = np.array(result, dtype=np.float64, copy=True)
+            flat = out.reshape(-1)
+            k = max(1, int(flat.size * fraction))
+            if mode == "spike":
+                flat[:k] *= factor
+            elif mode == "negative":
+                flat[:k] = -np.abs(flat[:k]) - 1.0
+            else:
+                flat[:k] = np.nan
+            return out
+
+        self.install(timeloop, "project_to_quadrature", action, calls=calls,
+                     when=when, limit=limit,
+                     label=label or f"poison:viscosity:{mode}")
+
     # -- file faults ----------------------------------------------------- #
     @staticmethod
     def truncate_file(path: str, keep_fraction: float = 0.5) -> int:

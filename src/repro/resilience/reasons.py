@@ -70,6 +70,30 @@ class BreakdownError(RuntimeError):
         self.reason = reason
 
 
+class HealthCheckFailure(BreakdownError):
+    """A physics-state invariant was violated and could not be repaired.
+
+    Raised by the :mod:`repro.resilience.health` gates (and the guarded
+    mesh/particle primitives they wrap) when the evolving state -- mesh
+    geometry, material-point population, or a projected coefficient field
+    -- fails validation and every configured repair action is exhausted.
+    Subclasses :class:`BreakdownError` so the time loop's rollback engine
+    absorbs it through the exact same channel as a solver breakdown: the
+    snapshot is restored and the step retried with a smaller dt.
+
+    ``check`` names the violated invariant (``"mesh"``, ``"particles"``,
+    ``"field:eta"``, ``"divergence"``, ...) and ``details`` carries the
+    measured numbers, so policy code and tests never parse messages.
+    """
+
+    def __init__(self, message: str, check: str = "",
+                 details: dict | None = None,
+                 reason: ConvergedReason = ConvergedReason.DIVERGED_BREAKDOWN):
+        super().__init__(message, reason=reason)
+        self.check = check
+        self.details = dict(details or {})
+
+
 def nonfinite(value: float) -> bool:
     """True when ``value`` is NaN or +-Inf (two comparisons, no numpy call)."""
     return value != value or value == _INF or value == -_INF

@@ -37,6 +37,7 @@ from ..mpm.migration import populate_empty_cells
 from ..mpm.projection import project_to_quadrature
 from ..obs import registry as _obs
 from ..obs.trace import trace_resilience
+from ..resilience.health import HealthConfig, HealthMonitor
 from ..resilience.reasons import BreakdownError, ConvergedReason
 from ..solvers.nonlinear import newton
 from ..stokes.operators import StokesProblem
@@ -92,6 +93,11 @@ class SimulationConfig:
     dt_backoff: float = 0.5
     #: consecutive clean steps before one back-off factor is undone
     dt_recover_after: int = 2
+    #: physics-state health gates (mesh/particle/field invariants with
+    #: guarded degradation); None disables the subsystem entirely.  A
+    #: rejected gate raises :class:`HealthCheckFailure`, which the
+    #: rollback engine (``resilient=True``) absorbs like any breakdown.
+    health: HealthConfig | None = None
 
 
 class Simulation:
@@ -155,6 +161,10 @@ class Simulation:
         self._step_fallback_events: list[dict] = []
         self._B = None
         self._B_coords_version = -1
+        self.health = (
+            HealthMonitor(self, self.config.health)
+            if self.config.health is not None else None
+        )
         self.energy = None
         if self.config.thermal_kappa > 0.0:
             q1m = q1_companion_mesh(mesh)
@@ -214,6 +224,11 @@ class Simulation:
         eta_q = project_to_quadrature(self.mesh, pts.el, pts.xi, eta_p, self.quad)
         deta_q = project_to_quadrature(self.mesh, pts.el, pts.xi, deta_p, self.quad)
         rho_q = project_to_quadrature(self.mesh, pts.el, pts.xi, rho_p, self.quad)
+        if self.health is not None:
+            # guard *after* projection so any corruption upstream (flow
+            # law, projection, injected faults) is caught at the last
+            # point before the operator consumes the fields
+            return self.health.guard_coefficient_fields(eta_q, deta_q, rho_q)
         return eta_q, deta_q, rho_q
 
     # ------------------------------------------------------------------ #
@@ -325,8 +340,16 @@ class Simulation:
         t0 = time.perf_counter()
         self._step_fallback_events = []
         with _obs.stage("TimeStep"):
+            if self.health is not None:
+                with _obs.stage("HealthGate"):
+                    self.health.pre_step()
             with _obs.stage("StokesNonlinear"):
                 result = self.solve_stokes_nonlinear()
+            if self.health is not None:
+                # validate the solution against the *same* divergence
+                # operator the solve used (the ALE move below changes it)
+                with _obs.stage("HealthGate"):
+                    self.health.post_step(self._divergence(), self.u)
             if dt is None:
                 dt = self.stable_dt()
                 if not np.isfinite(dt):
@@ -345,22 +368,35 @@ class Simulation:
             lost_count = 0
             if dt > 0:
                 with _obs.stage("MPMAdvect"):
+                    n_before = self.points.n
                     lost = advect_points(
                         self.mesh, self.u, self.points, dt, cfg.advection_scheme
                     )
                     lost_count = int(lost.sum())
                     if lost.any():
                         self.points.remove(lost)
-                    injected = populate_empty_cells(
-                        self.mesh, self.points, cfg.min_points_per_element
-                    )
+                    if self.health is not None:
+                        gate = self.health.particle_gate(
+                            expected=n_before - lost_count
+                        )
+                        injected = gate["injected"]
+                    else:
+                        injected = populate_empty_cells(
+                            self.mesh, self.points, cfg.min_points_per_element
+                        )["total"]
             else:
                 injected = 0
 
             if cfg.free_surface and dt > 0:
                 with _obs.stage("ALERemesh"):
                     update_free_surface(self.mesh, self.u, dt)
-                    remesh_vertical(self.mesh)
+                    if self.health is not None:
+                        # fold detection + repair ladder (remesh with
+                        # degenerate-column clamping -> smoothing -> reject)
+                        self.health.mesh_gate("post_surface",
+                                              repair_surface=True)
+                    else:
+                        remesh_vertical(self.mesh)
                     self._relocate_points()
                     self._B = None  # geometry changed
 
@@ -373,6 +409,8 @@ class Simulation:
                     )
                     u_q1 = self.energy.velocity_at_quadrature(self.mesh, self.u)
                     self.T = self.energy.step(self.T, u_q1, dt)
+                    if self.health is not None:
+                        self.T = self.health.guard_temperature(self.T)
 
         seconds = time.perf_counter() - t0
         self.time += dt
@@ -383,6 +421,8 @@ class Simulation:
         )
         return {
             "dt": dt,
+            "health": (self.health.step_summary()
+                       if self.health is not None else {}),
             "newton_iterations": result.iterations,
             "krylov_iterations": result.total_linear_iterations,
             "newton_converged": result.converged,

@@ -221,3 +221,56 @@ class TestAdvection:
         with pytest.raises(ValueError):
             advect_points(mesh, np.zeros(3 * mesh.nnodes), pts, 0.1,
                           scheme="rk7")
+
+    @staticmethod
+    def valley_mesh():
+        """A free-surface mesh whose top dips mid-domain (non-convex
+        domain): z_top(x) = 1 - 0.3 sin(pi x)."""
+        mesh = StructuredMesh((8, 2, 4), order=2)
+
+        def dip(c):
+            out = c.copy()
+            out[:, 2] = c[:, 2] * (1.0 - 0.3 * np.sin(np.pi * c[:, 0]))
+            return out
+
+        mesh.deform(dip)
+        return mesh
+
+    @pytest.mark.parametrize("scheme", ["rk2", "rk4"])
+    def test_stage_outside_domain_near_free_surface(self, scheme):
+        """A point crossing *under* a surface valley: its RK stage
+        positions sit above the dipped surface (outside the domain) while
+        start and end lie under high columns.  The stage fallback must
+        keep advecting it -- no lost flag, no NaN or stale el/xi cache."""
+        mesh = self.valley_mesh()
+        x0 = np.array([[0.15, 0.5, 0.85]])   # under z_top(0.15) ~ 0.865
+        pts = MaterialPoints(x0.copy())
+        u = np.zeros(3 * mesh.nnodes)
+        u[0::3] = 1.0                        # uniform lateral flow
+        # midpoint x = 0.5, z = 0.85 > z_top(0.5) = 0.7: stage is outside
+        lost = advect_points(mesh, u, pts, dt=0.7, scheme=scheme)
+        assert not lost.any()
+        # uniform field: the fallback velocity equals the true one, so
+        # the move is exact despite the out-of-domain stage samples
+        assert np.allclose(pts.x, x0 + [0.7, 0.0, 0.0], atol=1e-12)
+        assert np.isfinite(pts.xi).all()
+        assert (pts.el >= 0).all()
+        # caches agree with a from-scratch location pass
+        els, xi, relost = locate_points(mesh, pts.x)
+        assert not relost.any()
+        assert np.array_equal(pts.el, els)
+        assert np.allclose(pts.xi, xi, atol=1e-9)
+
+    @pytest.mark.parametrize("scheme", ["rk2", "rk4"])
+    def test_surface_outflow_keeps_caches_finite(self, scheme):
+        """Points blown through the free surface are flagged lost with a
+        sentinel element, never a garbage cache."""
+        mesh = self.valley_mesh()
+        pts = MaterialPoints(np.array([[0.5, 0.5, 0.65]]))  # near the dip
+        u = np.zeros(3 * mesh.nnodes)
+        u[2::3] = 1.0
+        lost = advect_points(mesh, u, pts, dt=0.2, scheme=scheme)
+        assert lost.all()
+        assert (pts.el == -1).all()
+        assert np.isfinite(pts.x).all()
+        assert np.isfinite(pts.xi).all()

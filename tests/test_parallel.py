@@ -161,13 +161,14 @@ class TestPopulationControl:
         pts.remove(pts.el == victim)
         assert count_points_per_element(mesh, pts)[victim] == 0
         injected = populate_empty_cells(mesh, pts, min_per_element=1)
-        assert injected > 0
+        assert injected["total"] > 0
+        assert sum(injected["per_lithology"].values()) == injected["total"]
         assert count_points_per_element(mesh, pts)[victim] > 0
 
     def test_no_injection_when_populated(self):
         mesh = StructuredMesh((2, 2, 2), order=2)
         pts = seed_points(mesh, 2)
-        assert populate_empty_cells(mesh, pts, min_per_element=1) == 0
+        assert populate_empty_cells(mesh, pts, min_per_element=1)["total"] == 0
 
     def test_injected_points_inherit_nearest_state(self):
         mesh = StructuredMesh((2, 1, 1), order=2)
