@@ -1,0 +1,50 @@
+"""Fast telemetry smoke bench: the CI perf-regression gate's workload.
+
+Runs in a few seconds -- one small variable-viscosity Stokes solve plus
+two coupled time steps -- and, through the ``obs_trace`` autouse fixture,
+emits ``BENCH_smoke.json`` (schema ``repro.obs/1``) with the full event
+table, metric time-series, and run manifest.  CI diffs that document
+against the committed ``benchmarks/baselines/BENCH_smoke.json`` via
+``python -m repro.obs.compare`` (warn-only thresholds to start), so the
+per-event wall times and solver iteration counts of every build land in a
+tracked history instead of vanishing with the job.
+
+Regenerate the baseline (from a quiet machine) with::
+
+    REPRO_BENCH_JSON_DIR=benchmarks/baselines \\
+        PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py -q
+"""
+
+import numpy as np
+
+from repro import SimulationConfig, obs
+from repro.sim.sinker import SinkerConfig, make_sinker, sinker_stokes_problem
+from repro.stokes.solve import StokesConfig, solve_stokes
+
+
+def small_config(**kw):
+    return StokesConfig(mg_levels=2, coarse_solver="lu", rtol=1e-5, **kw)
+
+
+def test_smoke_solve():
+    """One fieldsplit + GMG solve: KSP/MG/PCApply events and traces."""
+    pb = sinker_stokes_problem(
+        SinkerConfig(shape=(4, 4, 4), n_spheres=2, radius=0.15,
+                     delta_eta=100.0)
+    )
+    sol = solve_stokes(pb, small_config())
+    assert sol.converged
+    assert np.isfinite(sol.u).all()
+
+
+def test_smoke_steps():
+    """Two coupled time steps: per-step metric series + SNES traces."""
+    sim = make_sinker(
+        SinkerConfig(shape=(4, 4, 4)),
+        SimulationConfig(stokes=small_config(), free_surface=True),
+    )
+    stats = sim.run(2)
+    assert len(stats) == 2
+    assert all(s["newton_converged"] for s in stats)
+    series = {s["name"] for s in obs.metrics.export()["series"]}
+    assert {"dt", "points", "krylov_iterations"} <= series

@@ -12,13 +12,19 @@ polluted solve inflates at most two.  Fails above ``--max-overhead``.  The disab
 ``tests/test_obs.py::test_disabled_overhead``; this script guards the
 enabled path end to end, where per-event timer costs could silently grow.
 
-Run:  python benchmarks/check_obs_overhead.py
+``--mode sim`` guards the full telemetry layer instead: the timed work is
+a short coupled time-loop run, and the enabled side runs with the metric
+time-series *and* an armed flight recorder buffering every step -- the
+"telemetry-enabled overhead on the clean path" bound.
+
+Run:  python benchmarks/check_obs_overhead.py [--mode solve|sim]
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 import time
 
 from repro import obs
@@ -41,6 +47,32 @@ def solve_once(enabled: bool) -> float:
     return elapsed
 
 
+def sim_once(enabled: bool) -> float:
+    """Two coupled time steps, with the whole telemetry layer on one side:
+    profiling, per-step metric sampling, and an armed flight recorder."""
+    from repro import SimulationConfig
+    from repro.sim.sinker import make_sinker
+
+    obs.reset()
+    if enabled:
+        obs.enable()
+        obs.flight.arm(capacity=16, directory=tempfile.gettempdir())
+    sim = make_sinker(
+        SinkerConfig(shape=(4, 4, 4)),
+        SimulationConfig(stokes=StokesConfig(mg_levels=2, coarse_solver="lu")),
+    )
+    t0 = time.perf_counter()
+    stats = sim.run(2)
+    elapsed = time.perf_counter() - t0
+    if enabled:
+        assert obs.metrics.export()["series"], "telemetry recorded nothing"
+        assert len(obs.flight.armed().steps) == 2
+    obs.flight.disarm()
+    obs.disable()
+    assert all(s["newton_converged"] for s in stats)
+    return elapsed
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--rounds", type=int, default=8,
@@ -48,18 +80,24 @@ def main(argv=None) -> int:
                          "so the alternating order stays balanced)")
     ap.add_argument("--max-overhead", type=float, default=0.05,
                     help="maximum tolerated fractional slowdown (default 5%%)")
+    ap.add_argument("--mode", choices=("solve", "sim"), default="solve",
+                    help="'solve': one Stokes solve, profiling only; "
+                         "'sim': a short time-loop run with the full "
+                         "telemetry layer (metrics + flight recorder) on "
+                         "the enabled side (default %(default)s)")
     args = ap.parse_args(argv)
 
-    solve_once(False)  # warm up imports, caches, BLAS threads
-    solve_once(True)
+    run_once = solve_once if args.mode == "solve" else sim_once
+    run_once(False)  # warm up imports, caches, BLAS threads
+    run_once(True)
     off, on = [], []
     for i in range(args.rounds):
         if i % 2 == 0:
-            off.append(solve_once(False))
-            on.append(solve_once(True))
+            off.append(run_once(False))
+            on.append(run_once(True))
         else:
-            on.append(solve_once(True))
-            off.append(solve_once(False))
+            on.append(run_once(True))
+            off.append(run_once(False))
         print(f"pair {i}: disabled {off[-1]:.3f} s, enabled {on[-1]:.3f} s, "
               f"ratio {on[-1] / off[-1]:.3f}")
     pair_ratios = sorted(t_on / t_off for t_on, t_off in zip(on, off))
@@ -71,7 +109,8 @@ def main(argv=None) -> int:
     kind, ratio = min(estimates.items(), key=lambda kv: kv[1])
     overhead = ratio - 1.0
     print("estimates: " + ", ".join(f"{k} {v - 1:+.2%}" for k, v in estimates.items()))
-    print(f"observability overhead ({args.rounds} pairs, {kind} estimator): "
+    print(f"observability overhead (mode {args.mode}, {args.rounds} pairs, "
+          f"{kind} estimator): "
           f"{100 * overhead:+.2f}% (limit {100 * args.max_overhead:.0f}%)")
     if overhead > args.max_overhead:
         print("FAIL: enabled-instrumentation overhead above limit")

@@ -31,6 +31,10 @@ def obs_trace(request):
     yield
     obs.disable()
     mod = request.module.__name__
+    # the run manifest (config hash, machine model, package versions,
+    # seed, $REPRO_* env) rides in every snapshot(), so each BENCH_*.json
+    # is self-describing; stamp the producing module into it as well
+    obs.metrics.set_manifest(bench_module=mod)
     outdir = Path(os.environ.get("REPRO_BENCH_JSON_DIR", Path(__file__).parent))
     outdir.mkdir(parents=True, exist_ok=True)
     path = outdir / f"BENCH_{mod.removeprefix('bench_')}.json"

@@ -54,8 +54,14 @@ def free_slip(mesh) -> DirichletBC:
     return bc.finalize()
 
 
-def log_view_run(trace_path: str = "quickstart_trace.json") -> None:
-    """Profile a small end-to-end run and print the ``-log_view`` table."""
+def log_view_run(trace_path: str = "quickstart_trace.json",
+                 machine: str | None = None) -> None:
+    """Profile a small end-to-end run and print the ``-log_view`` table.
+
+    ``machine`` selects the roofline machine model by name (default:
+    ``$REPRO_MACHINE`` or ``laptop``); the model used is recorded in the
+    exported run manifest.
+    """
     from repro import SimulationConfig, obs
     from repro.sim.sinker import SinkerConfig, make_sinker
 
@@ -70,7 +76,7 @@ def log_view_run(trace_path: str = "quickstart_trace.json") -> None:
     sim.run(2)
     sim.log.attach()  # per-step Newton/Krylov counts ride into the JSON
     print()
-    obs.log_view()
+    obs.log_view(machine=machine)
     doc = obs.write_json(trace_path, meta={"run": "quickstart", "steps": 2})
     layers = ("MatMult", "MGSmooth", "KSPSolve", "MPM")
     names = {e["name"] for e in doc["events"]}
@@ -78,20 +84,36 @@ def log_view_run(trace_path: str = "quickstart_trace.json") -> None:
     assert len(names) >= 10, f"expected >= 10 distinct events, got {len(names)}"
     assert all(any(n.startswith(l) for n in names) for l in layers), names
     assert any(s.startswith("TimeStep") for s in stages), stages
+    series = {s["name"] for s in doc["metrics"]["series"]}
+    assert {"dt", "points", "krylov_iterations"} <= series, series
+    man = doc["manifest"]
+    from repro.perf.machine import resolve_machine
+
+    assert man["machine_model"] == resolve_machine(machine).name
+    assert man["config_hash"] and man["seed"] is not None
     print(f"JSON trace ({obs.SCHEMA}) written to {trace_path}: "
-          f"{len(names)} events, {len(doc['traces']['ksp'])} Krylov records")
+          f"{len(names)} events, {len(doc['traces']['ksp'])} Krylov records, "
+          f"{len(series)} metric series, machine model "
+          f"'{man['machine_model']}'")
     obs.disable()
     obs.reset()
 
 
 def inject_fault_run() -> None:
-    """Survive two injected faults: PC fallback, then dt rollback."""
+    """Survive two injected faults: PC fallback, then dt rollback.
+
+    The flight recorder is armed for the run, so the rollback fired by
+    the second fault automatically dumps a schema-validated
+    ``FLIGHT_rollback_*.json`` black box with the final steps of metrics,
+    events, and traces leading up to the failure.
+    """
     from repro import FaultInjector, SimulationConfig, obs
     from repro.sim.sinker import SinkerConfig, make_sinker
     from repro.stokes.fieldsplit import FieldSplitPreconditioner
     from repro.stokes.operators import StokesOperator
 
     obs.enable()
+    recorder = obs.flight.arm(capacity=16)
     sim = make_sinker(
         SinkerConfig(shape=(4, 4, 4)),
         SimulationConfig(
@@ -129,6 +151,20 @@ def inject_fault_run() -> None:
     recovery = [t["event"] for t in obs.REGISTRY.traces["resilience"]]
     print(f"\nrun completed {nsteps}/{nsteps} steps despite both faults; "
           f"recovery events: {recovery}")
+    # the rollback must have dumped a valid black box with the step history
+    assert recorder.dumps, "flight recorder produced no dump"
+    import json
+
+    with open(recorder.dumps[-1]) as fh:
+        dump = obs.validate_flight(json.load(fh))
+    assert dump["trigger"]["kind"] == "rollback"
+    assert dump["steps"], "flight dump carries no buffered steps"
+    assert all("metrics" in s and "stats" in s for s in dump["steps"])
+    assert dump["metrics"]["series"], "flight dump carries no metric series"
+    print(f"flight recorder dumped {len(recorder.dumps)} black box(es); "
+          f"last: {recorder.dumps[-1]} ({len(dump['steps'])} buffered "
+          f"steps, trigger '{dump['trigger']['kind']}')")
+    obs.flight.disarm()
     obs.disable()
     obs.reset()
 
@@ -219,6 +255,11 @@ if __name__ == "__main__":
         help="profile the run with repro.obs and print the stage/event table",
     )
     parser.add_argument(
+        "--machine", default=None, metavar="NAME",
+        help="roofline machine model for --log-view (default: $REPRO_MACHINE "
+             "or 'laptop'); recorded in the exported run manifest",
+    )
+    parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="shared-memory workers for the element kernels (default: "
              "$REPRO_WORKERS or serial); results are identical to serial",
@@ -236,7 +277,7 @@ if __name__ == "__main__":
     args = parser.parse_args()
     main(workers=args.workers)
     if args.log_view:
-        log_view_run()
+        log_view_run(machine=args.machine)
     if args.inject_fault == "nan":
         inject_fault_run()
     elif args.inject_fault is not None:

@@ -22,6 +22,11 @@ Profiling is off by default; the disabled fast path is a single flag test
 hot paths permanently.
 """
 
+# NOTE: .compare is deliberately not imported eagerly -- it is the
+# ``python -m repro.obs.compare`` CLI, and pre-importing it here would
+# trip runpy's double-import warning on every invocation
+from . import flight, metrics
+from .flight import FLIGHT_SCHEMA, ProgressLine, validate_flight
 from .registry import (
     REGISTRY,
     STATE,
@@ -34,6 +39,7 @@ from .registry import (
     log_bytes,
     log_event_seconds,
     log_flops,
+    register_reset_hook,
     reset,
     stage,
     timed,
@@ -53,10 +59,12 @@ from .trace import (
 
 __all__ = [
     "REGISTRY", "STATE", "EventRecord", "StageRecord",
-    "enable", "disable", "enabled", "reset",
+    "enable", "disable", "enabled", "reset", "register_reset_hook",
     "stage", "timed", "instrument", "log_flops", "log_bytes",
     "log_event_seconds",
     "log_view", "roofline_fraction",
     "SCHEMA", "snapshot", "validate", "write_json", "attach_monitor",
     "trace_ksp", "trace_snes", "trace_mg", "trace_resilience",
+    "metrics", "flight",
+    "FLIGHT_SCHEMA", "ProgressLine", "validate_flight",
 ]

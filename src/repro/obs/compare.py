@@ -1,0 +1,306 @@
+"""Cross-run diff of two ``repro.obs`` documents (``repro.obs.compare``).
+
+The perf-regression gate: given a committed **baseline** document and a
+fresh **candidate** (both ``repro.obs/1``, e.g. the ``BENCH_*.json``
+files the benchmarks emit), compare
+
+* per-event inclusive wall time (and achieved GF/s) for events matched
+  by ``(stage, name)``, ignoring events below ``min_seconds`` in the
+  baseline (too small to time reliably);
+* total profiled self time (the top-line wall ratio);
+* solver work: Krylov / Newton iteration and V-cycle counts, from the
+  metric series when present and the raw traces otherwise -- iteration
+  growth is a *algorithmic* regression and is judged separately from
+  wall time (it is noise-free);
+* step counts and final metric values (informational).
+
+Thresholds are configurable; the verdict is ``PASS`` / ``FAIL`` with a
+nonzero exit code on failure unless ``--warn-only`` (how CI starts out:
+tracked and reported, not yet enforced).
+
+CLI::
+
+    python -m repro.obs.compare BASELINE.json CANDIDATE.json \\
+        [--max-slowdown 1.5] [--max-iter-growth 1.25] \\
+        [--min-seconds 0.02] [--warn-only] [--json DIFF.json]
+
+Exit codes: 0 pass (or warn-only), 1 regression detected, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+
+from .trace import validate
+
+__all__ = ["CompareResult", "Finding", "compare", "load_document", "main"]
+
+#: candidate/baseline wall-time ratio above which an event is a regression
+DEFAULT_MAX_SLOWDOWN = 1.5
+#: iteration-count growth ratio above which solver work is a regression
+DEFAULT_MAX_ITER_GROWTH = 1.25
+#: baseline events faster than this are too noisy to gate on
+DEFAULT_MIN_SECONDS = 0.02
+
+#: counter series whose growth is gated with ``max_iter_growth``
+_WORK_COUNTERS = ("ksp_iterations", "snes_iterations", "mg_cycles")
+
+
+@dataclass
+class Finding:
+    """One compared quantity with its ratio and verdict."""
+
+    kind: str            # "event" | "total" | "iterations" | "metric" | "steps"
+    name: str
+    baseline: float
+    candidate: float
+    ratio: float
+    regression: bool
+    note: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind, "name": self.name,
+            "baseline": float(self.baseline),
+            "candidate": float(self.candidate),
+            "ratio": float(self.ratio),
+            "regression": bool(self.regression),
+            "note": self.note,
+        }
+
+
+@dataclass
+class CompareResult:
+    """Full diff of two documents plus the pass/fail verdict."""
+
+    findings: list = field(default_factory=list)
+    thresholds: dict = field(default_factory=dict)
+
+    @property
+    def regressions(self) -> list:
+        return [f for f in self.findings if f.regression]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": "repro.obs.compare/1",
+            "passed": self.passed,
+            "thresholds": dict(self.thresholds),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+def load_document(path: str | os.PathLike) -> dict:
+    """Read and schema-validate one ``repro.obs/1`` document."""
+    with open(os.fspath(path)) as fh:
+        return validate(json.load(fh))
+
+
+def _ratio(base: float, cand: float) -> float:
+    if base <= 0:
+        return 1.0 if cand <= 0 else float("inf")
+    return cand / base
+
+
+def _event_table(doc: dict) -> dict:
+    return {(e["stage"], e["name"]): e for e in doc["events"]}
+
+
+def _final_metric(doc: dict, name: str) -> float | None:
+    for s in doc.get("metrics", {}).get("series", []):
+        if s["name"] == name and s["values"]:
+            return float(s["values"][-1])
+    return None
+
+
+def _trace_iteration_counts(doc: dict) -> dict:
+    """Fallback work counters recomputed from the raw traces."""
+    ksp = doc["traces"].get("ksp", [])
+    snes = doc["traces"].get("snes", [])
+    mg = doc["traces"].get("mg", [])
+    return {
+        "ksp_iterations": float(sum(1 for r in ksp if r["iteration"] > 0)),
+        "snes_iterations": float(sum(1 for r in snes if r["iteration"] > 0)),
+        "mg_cycles": float(max((r["cycle"] for r in mg), default=0)),
+    }
+
+
+def _work_counters(doc: dict) -> dict:
+    out = {}
+    fallback = _trace_iteration_counts(doc)
+    for name in _WORK_COUNTERS:
+        v = _final_metric(doc, name)
+        out[name] = fallback[name] if v is None else v
+    return out
+
+
+def _step_count(doc: dict) -> float:
+    for st in doc["stages"]:
+        if st["name"] == "TimeStep":
+            return float(st["count"])
+    return 0.0
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+    max_iter_growth: float = DEFAULT_MAX_ITER_GROWTH,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> CompareResult:
+    """Diff two validated documents; see the module docstring for rules."""
+    result = CompareResult(thresholds={
+        "max_slowdown": float(max_slowdown),
+        "max_iter_growth": float(max_iter_growth),
+        "min_seconds": float(min_seconds),
+    })
+    add = result.findings.append
+
+    # -- per-event wall time ------------------------------------------- #
+    base_ev, cand_ev = _event_table(baseline), _event_table(candidate)
+    for key in sorted(set(base_ev) & set(cand_ev)):
+        b, c = base_ev[key], cand_ev[key]
+        if b["seconds"] < min_seconds:
+            continue
+        r = _ratio(b["seconds"], c["seconds"])
+        note = ""
+        if b["gflops_per_s"] > 0 and c["gflops_per_s"] > 0:
+            note = (f"GF/s {b['gflops_per_s']:.2f} -> "
+                    f"{c['gflops_per_s']:.2f}")
+        stage, name = key
+        add(Finding("event", f"{stage or '(no stage)'}::{name}",
+                    b["seconds"], c["seconds"], r, r > max_slowdown, note))
+
+    # -- total profiled self time -------------------------------------- #
+    b_tot = sum(e["self_seconds"] for e in baseline["events"])
+    c_tot = sum(e["self_seconds"] for e in candidate["events"])
+    if b_tot >= min_seconds:
+        r = _ratio(b_tot, c_tot)
+        add(Finding("total", "total_self_seconds", b_tot, c_tot, r,
+                    r > max_slowdown))
+
+    # -- solver work (noise-free; judged by max_iter_growth) ------------ #
+    b_work, c_work = _work_counters(baseline), _work_counters(candidate)
+    for name in _WORK_COUNTERS:
+        b, c = b_work[name], c_work[name]
+        if b == 0 and c == 0:
+            continue
+        r = _ratio(b, c)
+        add(Finding("iterations", name, b, c, r, r > max_iter_growth))
+
+    # -- step counts (a run that did fewer steps is not comparable) ----- #
+    b_steps, c_steps = _step_count(baseline), _step_count(candidate)
+    if b_steps or c_steps:
+        add(Finding("steps", "time_steps", b_steps, c_steps,
+                    _ratio(b_steps, c_steps), b_steps != c_steps,
+                    note="step-count mismatch" if b_steps != c_steps else ""))
+
+    # -- remaining final metric values (informational, never gating) ---- #
+    b_names = {s["name"] for s in baseline.get("metrics", {}).get("series", [])}
+    c_names = {s["name"] for s in candidate.get("metrics", {}).get("series", [])}
+    for name in sorted(b_names & c_names):
+        if name in _WORK_COUNTERS:
+            continue
+        b, c = _final_metric(baseline, name), _final_metric(candidate, name)
+        if b is None or c is None:
+            continue
+        add(Finding("metric", name, b, c, _ratio(b, c), False))
+
+    return result
+
+
+# --------------------------------------------------------------------- #
+# report rendering + CLI
+# --------------------------------------------------------------------- #
+def render(result: CompareResult, verbose: bool = False) -> str:
+    """Human-readable diff table (regressions always shown first)."""
+    lines = []
+    rows = result.regressions + [
+        f for f in result.findings
+        if not f.regression and (verbose or f.kind in ("total", "iterations",
+                                                       "steps"))
+    ]
+    if rows:
+        w = max(len(f.name) for f in rows) + 2
+        lines.append(f"{'quantity':<{w}}{'baseline':>12}{'candidate':>12}"
+                     f"{'ratio':>8}  verdict")
+        for f in rows:
+            verdict = "REGRESSION" if f.regression else "ok"
+            extra = f"  ({f.note})" if f.note else ""
+            lines.append(
+                f"{f.name:<{w}}{f.baseline:>12.4g}{f.candidate:>12.4g}"
+                f"{f.ratio:>8.3f}  {verdict}{extra}"
+            )
+    n_reg = len(result.regressions)
+    th = result.thresholds
+    lines.append(
+        f"{len(result.findings)} quantities compared "
+        f"(max_slowdown {th['max_slowdown']:g}, max_iter_growth "
+        f"{th['max_iter_growth']:g}, min_seconds {th['min_seconds']:g}): "
+        + ("PASS" if result.passed else f"FAIL ({n_reg} regression(s))")
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs.compare",
+        description="Diff two repro.obs JSON documents as a perf gate.",
+    )
+    ap.add_argument("baseline", help="committed baseline document")
+    ap.add_argument("candidate", help="freshly produced document")
+    ap.add_argument("--max-slowdown", type=float,
+                    default=DEFAULT_MAX_SLOWDOWN,
+                    help="event/total wall-time ratio treated as a "
+                         "regression (default %(default)s)")
+    ap.add_argument("--max-iter-growth", type=float,
+                    default=DEFAULT_MAX_ITER_GROWTH,
+                    help="iteration/V-cycle growth ratio treated as a "
+                         "regression (default %(default)s)")
+    ap.add_argument("--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+                    help="ignore events below this baseline time "
+                         "(default %(default)s)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0 (CI soft gate)")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="also write the diff as a JSON document")
+    ap.add_argument("--verbose", action="store_true",
+                    help="show every compared quantity, not just the "
+                         "gated ones")
+    args = ap.parse_args(argv)
+
+    try:
+        base = load_document(args.baseline)
+        cand = load_document(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    result = compare(
+        base, cand,
+        max_slowdown=args.max_slowdown,
+        max_iter_growth=args.max_iter_growth,
+        min_seconds=args.min_seconds,
+    )
+    print(render(result, verbose=args.verbose))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.as_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    if result.passed:
+        return 0
+    if args.warn_only:
+        print("warn-only: regressions reported, gate not enforced")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,309 @@
+"""Failure flight recorder and live progress line (``repro.obs.flight``).
+
+A ``-log_view`` aggregate cannot show what the solver was doing in the
+moments *before* a rollback killed a step.  The flight recorder keeps a
+bounded ring buffer of the last N per-step records -- the step stats the
+time loop produces plus the committed metric row from
+:mod:`repro.obs.metrics` -- and dumps it automatically as a
+schema-validated ``FLIGHT_*.json`` whenever a failure trigger fires:
+
+=================  ====================================================
+trigger            fired by
+=================  ====================================================
+``rollback``       :meth:`repro.sim.timeloop.Simulation.step` restoring
+                   its snapshot after a ``BreakdownError`` /
+                   ``HealthCheckFailure`` or a hard-diverged Newton step
+``breakdown``      the same step loop exhausting ``max_step_retries``
+                   (the error still propagates; the dump is the black box)
+``worker_crash``   :class:`repro.parallel.executor.ParallelExecutor`
+                   absorbing (or giving up on) a dead worker process
+``manual``         :func:`trigger` called by the application
+=================  ====================================================
+
+The recorder is **armed explicitly** (:func:`arm`) or via
+``$REPRO_FLIGHT=1`` -- it is never on by accident, and while disarmed
+:func:`record_step` / :func:`trigger` are one ``is None`` test.  Dumps go
+to ``$REPRO_FLIGHT_DIR`` (default: the working directory).
+
+:class:`ProgressLine` is the companion live view for long runs: one
+``\\r``-rewritten stderr line with step, dt, steps/s, the latest residual
+norm, and worker-pool utilization -- enabled with ``$REPRO_PROGRESS=1``
+or ``Simulation.run(..., progress=True)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from collections import deque
+
+from . import metrics
+from .registry import REGISTRY, register_reset_hook
+
+__all__ = [
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "ProgressLine",
+    "arm",
+    "armed",
+    "disarm",
+    "maybe_arm_from_env",
+    "record_step",
+    "trigger",
+    "validate_flight",
+]
+
+#: schema tag of every flight dump; bump on breaking change
+FLIGHT_SCHEMA = "repro.obs.flight/1"
+ENV_FLIGHT = "REPRO_FLIGHT"
+ENV_FLIGHT_DIR = "REPRO_FLIGHT_DIR"
+
+#: trace records kept per stream in a dump (the tail is what matters)
+_TRACE_TAIL = 200
+
+
+def _jsonable(obj):
+    """Deep-convert numpy scalars/arrays so ``json.dump`` never chokes on
+    a stats dict assembled from solver internals."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if hasattr(obj, "item") and callable(obj.item):  # numpy scalar
+        try:
+            return obj.item()
+        except (ValueError, TypeError):
+            return [_jsonable(v) for v in obj.tolist()]
+    return obj
+
+
+class FlightRecorder:
+    """Bounded ring buffer of per-step records with triggered dumps."""
+
+    def __init__(self, capacity: int = 32,
+                 directory: str | os.PathLike | None = None,
+                 prefix: str = "FLIGHT"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.steps: deque = deque(maxlen=self.capacity)
+        self.directory = os.fspath(
+            directory
+            if directory is not None
+            else os.environ.get(ENV_FLIGHT_DIR, "") or "."
+        )
+        self.prefix = str(prefix)
+        self.dumps: list[str] = []   # paths written, oldest first
+        self._dump_index = 0
+
+    def record_step(self, record: dict) -> None:
+        """Buffer one per-step record (evicts the oldest past capacity)."""
+        self.steps.append(_jsonable(record))
+
+    def clear(self) -> None:
+        self.steps.clear()
+
+    def document(self, kind: str, detail: dict | None = None) -> dict:
+        """The dump document for one trigger (schema-validated by dump)."""
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "trigger": {"kind": str(kind), **(detail or {})},
+            "capacity": self.capacity,
+            "steps": [dict(s) for s in self.steps],
+            "events": [e.as_dict() for e in REGISTRY.events.values()],
+            "traces_tail": {
+                k: list(v[-_TRACE_TAIL:]) for k, v in REGISTRY.traces.items()
+            },
+            "metrics": metrics.export(),
+            "manifest": metrics.build_manifest(),
+        }
+
+    def dump(self, kind: str, detail: dict | None = None) -> str:
+        """Write one validated ``FLIGHT_*.json``; returns its path."""
+        doc = validate_flight(self.document(kind, detail))
+        self._dump_index += 1
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(
+            self.directory,
+            f"{self.prefix}_{kind}_{self._dump_index:03d}.json",
+        )
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        self.dumps.append(path)
+        return path
+
+
+#: the armed recorder; ``None`` keeps record_step/trigger a single test
+_RECORDER: FlightRecorder | None = None
+
+
+def arm(capacity: int = 32, directory: str | os.PathLike | None = None,
+        prefix: str = "FLIGHT") -> FlightRecorder:
+    """Arm the flight recorder (replacing any armed one); returns it."""
+    global _RECORDER
+    _RECORDER = FlightRecorder(capacity, directory, prefix)
+    return _RECORDER
+
+
+def disarm() -> None:
+    """Disarm; buffered steps are dropped, written dumps stay on disk."""
+    global _RECORDER
+    _RECORDER = None
+
+
+def armed() -> FlightRecorder | None:
+    """The armed recorder, or ``None``."""
+    return _RECORDER
+
+
+def maybe_arm_from_env() -> FlightRecorder | None:
+    """Arm from ``$REPRO_FLIGHT`` (truthy value; a number sets capacity)."""
+    if _RECORDER is not None:
+        return _RECORDER
+    raw = os.environ.get(ENV_FLIGHT, "")
+    if not raw or raw in ("0", "false", "no"):
+        return None
+    try:
+        capacity = max(1, int(raw))
+    except ValueError:
+        capacity = 32
+    return arm(capacity=capacity)
+
+
+def record_step(record: dict) -> None:
+    """Buffer one step record into the armed recorder (cheap no-op else)."""
+    if _RECORDER is not None:
+        _RECORDER.record_step(record)
+
+
+def trigger(kind: str, **detail) -> str | None:
+    """Dump the black box for one failure event; returns the path (or
+    ``None`` while disarmed -- the failure handling itself never depends
+    on the recorder)."""
+    if _RECORDER is None:
+        return None
+    return _RECORDER.dump(kind, detail)
+
+
+def _clear_on_reset() -> None:
+    if _RECORDER is not None:
+        _RECORDER.clear()
+
+
+register_reset_hook(_clear_on_reset)
+
+
+# --------------------------------------------------------------------- #
+# flight-dump schema validation
+# --------------------------------------------------------------------- #
+def validate_flight(doc: dict) -> dict:
+    """Check a flight dump against ``repro.obs.flight/1``; returns it."""
+    if not isinstance(doc, dict):
+        raise ValueError("flight document must be a dict")
+    if doc.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(f"unknown flight schema tag {doc.get('schema')!r}")
+    for key in ("trigger", "capacity", "steps", "events", "traces_tail",
+                "metrics", "manifest"):
+        if key not in doc:
+            raise ValueError(f"flight dump missing top-level key {key!r}")
+    trig = doc["trigger"]
+    if not isinstance(trig, dict) or not isinstance(trig.get("kind"), str):
+        raise ValueError("trigger must be a dict with a string 'kind'")
+    if not isinstance(doc["capacity"], int) or doc["capacity"] < 1:
+        raise ValueError("capacity must be a positive int")
+    if not isinstance(doc["steps"], list):
+        raise ValueError("steps must be a list")
+    if len(doc["steps"]) > doc["capacity"]:
+        raise ValueError("more buffered steps than capacity")
+    for i, s in enumerate(doc["steps"]):
+        if not isinstance(s, dict) or not isinstance(s.get("step"), int):
+            raise ValueError(f"steps[{i}] must be a dict with an int 'step'")
+    if not isinstance(doc["metrics"], dict) or \
+            not isinstance(doc["metrics"].get("series"), list):
+        raise ValueError("metrics must be a dict with a 'series' list")
+    if not isinstance(doc["manifest"], dict):
+        raise ValueError("manifest must be a dict")
+    if not isinstance(doc["traces_tail"], dict):
+        raise ValueError("traces_tail must be a dict of record lists")
+    return doc
+
+
+# --------------------------------------------------------------------- #
+# live progress line
+# --------------------------------------------------------------------- #
+ENV_PROGRESS = "REPRO_PROGRESS"
+
+
+def progress_enabled() -> bool:
+    return os.environ.get(ENV_PROGRESS, "") not in ("", "0", "false", "no")
+
+
+class ProgressLine:
+    """One-line ``\\r``-rewritten run status for long simulations.
+
+    ``step 12  t 3.1e-2  dt 2.5e-3  1.84 steps/s  |F| 4.2e-05  workers 63%``
+
+    Steps/s is a running average over the line's lifetime; worker
+    utilization is the busy-time delta across all live executors divided
+    by ``workers x wall`` since the previous update (blank when no
+    executor is live).  Writes to ``stream`` (default stderr) and never
+    raises -- a broken pipe must not kill the run it narrates.
+    """
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.t0 = time.perf_counter()
+        self._last_t = self.t0
+        self._last_busy = metrics.aggregate_executor_stats().get(
+            "worker_busy_seconds", 0.0)
+        self.count = 0
+        self._width = 0
+
+    def format(self, step: int, sim_time: float, dt: float,
+               residual: float | None, utilization: float | None) -> str:
+        rate = self.count / max(time.perf_counter() - self.t0, 1e-9)
+        parts = [f"step {step}", f"t {sim_time:.3g}", f"dt {dt:.2e}",
+                 f"{rate:.2f} steps/s"]
+        if residual is not None:
+            parts.append(f"|F| {residual:.2e}")
+        if utilization is not None:
+            parts.append(f"workers {100 * utilization:.0f}%")
+        return "  ".join(parts)
+
+    def update(self, step: int, sim_time: float, dt: float,
+               residual: float | None = None) -> str:
+        self.count += 1
+        now = time.perf_counter()
+        util = None
+        workers = metrics.total_workers()
+        if workers > 0:
+            busy = metrics.aggregate_executor_stats().get(
+                "worker_busy_seconds", 0.0)
+            wall = max(now - self._last_t, 1e-9)
+            util = min(max((busy - self._last_busy) / (wall * workers), 0.0),
+                       1.0)
+            self._last_busy = busy
+        self._last_t = now
+        if residual is None:
+            residual = metrics.get_gauge("snes_last_fnorm")
+            if residual is None:
+                residual = metrics.get_gauge("ksp_last_rnorm")
+        text = self.format(step, sim_time, dt, residual, util)
+        self._width = max(self._width, len(text))
+        try:
+            self.stream.write("\r" + text.ljust(self._width))
+            self.stream.flush()
+        except Exception:
+            pass
+        return text
+
+    def close(self) -> None:
+        try:
+            if self.count:
+                self.stream.write("\n")
+                self.stream.flush()
+        except Exception:
+            pass

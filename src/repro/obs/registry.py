@@ -156,9 +156,23 @@ def disable() -> None:
     STATE.mg_post_residuals = False
 
 
+#: callbacks run by :func:`reset` so satellite stores (metrics time-series,
+#: flight-recorder ring buffer) clear in lockstep with the registry without
+#: this module having to import them (they import us)
+_RESET_HOOKS: list = []
+
+
+def register_reset_hook(fn) -> None:
+    """Register ``fn`` to run on every :func:`reset` (idempotent add)."""
+    if fn not in _RESET_HOOKS:
+        _RESET_HOOKS.append(fn)
+
+
 def reset() -> None:
-    """Drop all accumulated events, stages, and traces."""
+    """Drop all accumulated events, stages, traces, and satellite stores."""
     REGISTRY.__init__()
+    for fn in _RESET_HOOKS:
+        fn()
 
 
 class _NullTimer:

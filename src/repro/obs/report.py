@@ -13,7 +13,8 @@ from __future__ import annotations
 import io
 import sys
 
-from ..perf.machine import LAPTOP, MachineModel
+from ..perf.machine import MachineModel, resolve_machine
+from . import metrics as _metrics
 from .registry import REGISTRY
 
 
@@ -45,7 +46,9 @@ def roofline_fraction(
 
 
 def log_view(
-    stream=None, machine: MachineModel | None = None, min_seconds: float = 0.0
+    stream=None,
+    machine: MachineModel | str | None = None,
+    min_seconds: float = 0.0,
 ) -> str:
     """Print (and return) the stage/event summary table.
 
@@ -55,11 +58,15 @@ def log_view(
         Where to print; ``None`` prints to stdout, ``False`` only returns
         the string.
     machine:
-        Machine model for the roofline column (default: :data:`LAPTOP`).
+        Machine model for the roofline column: a :class:`MachineModel`, a
+        registered name (``"laptop"``, ``"edison"``), or ``None`` to read
+        ``$REPRO_MACHINE`` (default ``laptop``).  The model actually used
+        is recorded in the run manifest of every subsequent JSON export.
     min_seconds:
         Hide events below this inclusive time (declutter long runs).
     """
-    machine = machine or LAPTOP
+    machine = resolve_machine(machine)
+    _metrics.set_manifest(machine_model=machine.name)
     out = io.StringIO()
     events = [e for e in REGISTRY.events.values() if e.seconds >= min_seconds]
     total = sum(e.self_seconds for e in events)

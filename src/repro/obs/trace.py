@@ -34,7 +34,9 @@ monitors -- as one JSON document with a stable ``"schema"`` tag; the
 from __future__ import annotations
 
 import json
+import os
 
+from . import metrics as _metrics
 from .registry import REGISTRY, STATE
 
 #: schema tag written into every exported document; bump on breaking change
@@ -50,6 +52,10 @@ def trace_ksp(solver: str, iteration: int, rnorm: float) -> None:
         return
     if iteration == 0:
         REGISTRY._ksp_index += 1
+        _metrics.inc("ksp_solves")
+    else:
+        _metrics.inc("ksp_iterations")
+    _metrics.gauge("ksp_last_rnorm", rnorm)
     REGISTRY.traces["ksp"].append({
         "solver": solver,
         "solve": REGISTRY._ksp_index,
@@ -69,6 +75,10 @@ def trace_snes(
         return
     if iteration == 0:
         REGISTRY._snes_index += 1
+        _metrics.inc("snes_solves")
+    else:
+        _metrics.inc("snes_iterations")
+    _metrics.gauge("snes_last_fnorm", fnorm)
     REGISTRY.traces["snes"].append({
         "solve": REGISTRY._snes_index,
         "iteration": int(iteration),
@@ -88,6 +98,7 @@ def trace_mg(
         return
     if level == 0 and phase == "presmooth":
         REGISTRY._mg_cycle += 1
+        _metrics.inc("mg_cycles")
     REGISTRY.traces["mg"].append({
         "cycle": REGISTRY._mg_cycle,
         "level": int(level),
@@ -107,6 +118,7 @@ def trace_resilience(event: str, **fields) -> None:
     """
     if not STATE.enabled:
         return
+    _metrics.inc(f"resilience.{event}")
     REGISTRY.traces["resilience"].append({"event": str(event), **fields})
 
 
@@ -123,21 +135,30 @@ def attach_monitor(name: str, data: dict) -> None:
 # export + validation
 # --------------------------------------------------------------------- #
 def snapshot(meta: dict | None = None) -> dict:
-    """The full registry as one schema-tagged, JSON-serializable document."""
+    """The full registry as one schema-tagged, JSON-serializable document.
+
+    Besides the stage/event/trace/monitor aggregates this carries the
+    per-step metric time-series (``"metrics"``, see
+    :mod:`repro.obs.metrics`) and the run manifest (``"manifest"``:
+    config hash, machine model, package versions, seed) -- every export,
+    benchmarks included, is self-describing.
+    """
     return {
         "schema": SCHEMA,
         "stages": [s.as_dict() for s in REGISTRY.stages.values()],
         "events": [e.as_dict() for e in REGISTRY.events.values()],
         "traces": {k: list(v) for k, v in REGISTRY.traces.items()},
         "monitors": {k: dict(v) for k, v in REGISTRY.monitors.items()},
+        "metrics": _metrics.export(),
+        "manifest": _metrics.build_manifest(),
         "meta": dict(meta or {}),
     }
 
 
-def write_json(path: str, meta: dict | None = None) -> dict:
+def write_json(path: str | os.PathLike, meta: dict | None = None) -> dict:
     """Validate and write :func:`snapshot` to ``path``; returns the doc."""
     doc = validate(snapshot(meta))
-    with open(path, "w") as fh:
+    with open(os.fspath(path), "w") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
     return doc
@@ -150,6 +171,9 @@ _EVENT_FIELDS = {
 }
 _STAGE_FIELDS = {
     "name": str, "count": int, "seconds": float, "mem_peak_bytes": int,
+}
+_SERIES_FIELDS = {
+    "name": str, "kind": str, "steps": list, "values": list,
 }
 _TRACE_FIELDS = {
     "ksp": {"solver": str, "solve": int, "iteration": int, "rnorm": float},
@@ -201,4 +225,19 @@ def validate(doc: dict) -> dict:
             _check_fields(rec, fields, f"traces[{kind!r}][{i}]")
     if not isinstance(doc["monitors"], dict) or not isinstance(doc["meta"], dict):
         raise ValueError("monitors and meta must be dicts")
+    # "metrics" and "manifest" are emitted by every snapshot() but stay
+    # optional in validate() so documents written before the telemetry
+    # layer existed still pass (back-compat of the repro.obs/1 contract)
+    if "metrics" in doc:
+        m = doc["metrics"]
+        if not isinstance(m, dict) or not isinstance(m.get("series"), list):
+            raise ValueError("metrics must be a dict with a 'series' list")
+        for i, s in enumerate(m["series"]):
+            _check_fields(s, _SERIES_FIELDS, f"metrics.series[{i}]")
+            if len(s["steps"]) != len(s["values"]):
+                raise ValueError(
+                    f"metrics.series[{i}]: steps/values length mismatch"
+                )
+    if "manifest" in doc and not isinstance(doc["manifest"], dict):
+        raise ValueError("manifest must be a dict")
     return doc

@@ -53,6 +53,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import flight as _flight
+from ..obs import metrics as _metrics
 from ..obs import registry as _obs
 from ..obs.trace import trace_resilience
 from .decomposition import BlockDecomposition
@@ -296,6 +298,9 @@ class ParallelExecutor:
         self._finalizer = weakref.finalize(
             self, ParallelExecutor._cleanup, self._shm_in, self._shm_out
         )
+        # telemetry: dispatch/queue-wait/crash counters are aggregated
+        # into every repro.obs export (weak registration; no lifetime tie)
+        _metrics.STATS_SOURCES.add(self)
 
     # -- lifecycle ------------------------------------------------------ #
     @staticmethod
@@ -365,6 +370,8 @@ class ParallelExecutor:
                     result = self._dispatch_processes(state, method, spans, u, sizes, mode)
                 except WorkerCrash:
                     if not self.retry_on_crash:
+                        _flight.trigger("worker_crash", method=str(method),
+                                        absorbed=False)
                         raise
                     # the crash handler already dropped the pool; one
                     # re-dispatch forks a fresh one and recomputes every
@@ -375,6 +382,8 @@ class ParallelExecutor:
                     elapsed = time.perf_counter() - t0
                     _obs.log_event_seconds("ResilienceRespawn", elapsed)
                     trace_resilience("respawn", method=str(method))
+                    _flight.trigger("worker_crash", method=str(method),
+                                    absorbed=True)
         self.stats.dispatches += 1
         self.stats.tasks += len(spans)
         self.stats.bytes_in += u.nbytes

@@ -7,7 +7,7 @@ modeled at-scale numbers next to the measured sequential NumPy timings.
 """
 
 from .counts import OperatorCounts, OPERATOR_COUNTS, table1_counts
-from .machine import MachineModel, EDISON, LAPTOP
+from .machine import MACHINES, MachineModel, EDISON, LAPTOP, resolve_machine
 from .roofline import (
     apply_time_per_element,
     modeled_apply_time,
@@ -22,8 +22,10 @@ __all__ = [
     "OPERATOR_COUNTS",
     "table1_counts",
     "MachineModel",
+    "MACHINES",
     "EDISON",
     "LAPTOP",
+    "resolve_machine",
     "apply_time_per_element",
     "modeled_apply_time",
     "modeled_gflops",

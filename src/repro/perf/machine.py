@@ -10,7 +10,11 @@ floating-point peak.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import asdict, dataclass
+
+#: environment knob selecting the default machine model by name
+ENV_MACHINE = "REPRO_MACHINE"
 
 
 @dataclass(frozen=True)
@@ -43,6 +47,10 @@ class MachineModel:
         figure that makes SpMV scale poorly within a node, SS III-D)."""
         return self.stream_gbytes_per_node / self.cores_per_node
 
+    def as_dict(self) -> dict:
+        """Plain JSON-serializable form (rides in the run manifest)."""
+        return asdict(self)
+
 
 EDISON = MachineModel(
     name="edison",
@@ -59,3 +67,25 @@ LAPTOP = MachineModel(
     peak_gflops_per_core=16.0,
     stream_gbytes_per_node=40.0,
 )
+
+#: machine models selectable by name (``$REPRO_MACHINE`` / ``machine=``)
+MACHINES: dict[str, MachineModel] = {m.name: m for m in (EDISON, LAPTOP)}
+
+
+def resolve_machine(spec: MachineModel | str | None = None) -> MachineModel:
+    """Resolve a machine model from a model, a name, or the environment.
+
+    ``None`` reads ``$REPRO_MACHINE`` and falls back to ``laptop`` -- the
+    roofline default every report and export goes through, so which model
+    a run was judged against is always recorded, never hardcoded.
+    """
+    if isinstance(spec, MachineModel):
+        return spec
+    if spec is None:
+        spec = os.environ.get(ENV_MACHINE, "") or "laptop"
+    key = str(spec).strip().lower()
+    if key not in MACHINES:
+        raise ValueError(
+            f"unknown machine model {spec!r}; known: {sorted(MACHINES)}"
+        )
+    return MACHINES[key]

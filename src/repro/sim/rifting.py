@@ -118,6 +118,9 @@ def make_rifting(cfg: RiftingConfig | None = None,
                  sim_config: SimulationConfig | None = None) -> Simulation:
     """Build the scaled rifting simulation (SS V-A)."""
     cfg = cfg or RiftingConfig()
+    from ..obs import metrics as _metrics
+
+    _metrics.set_manifest(seed=cfg.seed)
     rng = np.random.default_rng(cfg.seed)
     mesh = StructuredMesh(cfg.shape, order=2, extent=cfg.extent)
     pts = seed_points(mesh, cfg.points_per_dim, jitter=cfg.jitter, rng=rng)

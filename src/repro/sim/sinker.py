@@ -80,6 +80,9 @@ def make_sinker(cfg: SinkerConfig | None = None,
                 sim_config: SimulationConfig | None = None) -> Simulation:
     """Build the sinker problem as a full MPM simulation."""
     cfg = cfg or SinkerConfig()
+    from ..obs import metrics as _metrics
+
+    _metrics.set_manifest(seed=cfg.seed)
     mesh = StructuredMesh(cfg.shape, order=2)
     pts = seed_points(mesh, cfg.points_per_dim, jitter=cfg.jitter,
                       rng=np.random.default_rng(cfg.seed))

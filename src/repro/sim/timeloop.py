@@ -35,6 +35,8 @@ from ..mpm.advection import advect_points
 from ..mpm.location import locate_points
 from ..mpm.migration import populate_empty_cells
 from ..mpm.projection import project_to_quadrature
+from ..obs import flight as _flight
+from ..obs import metrics as _metrics
 from ..obs import registry as _obs
 from ..obs.trace import trace_resilience
 from ..resilience.health import HealthConfig, HealthMonitor
@@ -165,6 +167,12 @@ class Simulation:
             HealthMonitor(self, self.config.health)
             if self.config.health is not None else None
         )
+        # telemetry: stamp the run manifest (config hash rides into every
+        # JSON export) and honor $REPRO_FLIGHT auto-arming -- both are one
+        # dict update / env read at construction, not per-step cost
+        _metrics.set_manifest(
+            config_hash=_metrics.config_hash(self.config))
+        _flight.maybe_arm_from_env()
         self.energy = None
         if self.config.thermal_kappa > 0.0:
             q1m = q1_companion_mesh(mesh)
@@ -419,7 +427,7 @@ class Simulation:
             result.iterations, result.total_linear_iterations, seconds,
             result.converged,
         )
-        return {
+        stats = {
             "dt": dt,
             "health": (self.health.step_summary()
                        if self.health is not None else {}),
@@ -435,6 +443,43 @@ class Simulation:
             "dt_scale": self._dt_scale,
             "retries": 0,
         }
+        if _obs.STATE.enabled:
+            self._commit_telemetry(stats)
+        return stats
+
+    def _commit_telemetry(self, stats: dict) -> None:
+        """Sample this step into the metric time-series + flight buffer.
+
+        Counters accumulate solver work and MPM churn, gauges sample the
+        instantaneous state (dt, census, residuals set by the trace
+        appenders); :func:`repro.obs.metrics.commit_step` flushes one row
+        (draining live ``ExecutorStats`` into ``executor.*`` gauges) and
+        the flight recorder, when armed, buffers it with the stats dict.
+        """
+        m = _metrics
+        m.gauge("dt", stats["dt"])
+        m.gauge("dt_scale", stats["dt_scale"])
+        m.gauge("sim_time", self.time)
+        m.gauge("points", self.points.n)
+        m.gauge("yielded_fraction", stats["yielded_fraction"])
+        m.observe("step_seconds", stats["seconds"])
+        m.inc("newton_iterations", stats["newton_iterations"])
+        m.inc("krylov_iterations", stats["krylov_iterations"])
+        m.inc("points_lost", stats["points_lost"])
+        m.inc("points_injected", stats["points_injected"])
+        m.inc("fallback_events", len(stats["fallback_events"]))
+        for key, val in stats["health"].items():
+            if key == "divergence":
+                m.gauge("health.divergence", val)
+            elif val:
+                m.inc(f"health.{key}", val)
+        row = m.commit_step(self.step_index)
+        _flight.record_step({
+            "step": self.step_index,
+            "time": float(self.time),
+            "stats": {k: v for k, v in stats.items()},
+            "metrics": row,
+        })
 
     # ------------------------------------------------------------------ #
     # self-healing step: snapshot -> attempt -> classify -> rollback
@@ -499,6 +544,18 @@ class Simulation:
                 "rollback", step=self.step_index, attempt=attempt + 1,
                 reason=ConvergedReason(reason).name, dt_scale=self._dt_scale,
             )
+            # black box: dump the last N buffered steps + traces/metrics
+            # the moment the failure fires (no-op while disarmed)
+            _flight.trigger(
+                "rollback", step=self.step_index, attempt=attempt + 1,
+                reason=ConvergedReason(reason).name, dt_scale=self._dt_scale,
+            )
+        _flight.trigger(
+            "breakdown", step=self.step_index,
+            attempts=cfg.max_step_retries + 1,
+            reason=ConvergedReason(last_reason).name,
+            dt_scale=self._dt_scale,
+        )
         raise BreakdownError(
             f"time step {self.step_index} failed after "
             f"{cfg.max_step_retries + 1} attempts "
@@ -507,6 +564,27 @@ class Simulation:
             reason=last_reason,
         )
 
-    def run(self, nsteps: int, dt: float | None = None) -> list[dict]:
-        """Run ``nsteps`` steps; returns the per-step stats."""
-        return [self.step(dt) for _ in range(nsteps)]
+    def run(
+        self, nsteps: int, dt: float | None = None,
+        progress: bool | None = None,
+    ) -> list[dict]:
+        """Run ``nsteps`` steps; returns the per-step stats.
+
+        ``progress=True`` (or ``$REPRO_PROGRESS=1`` when ``None``) renders
+        a one-line live status to stderr after every step -- step, dt,
+        steps/s, latest residual, worker utilization -- for long runs.
+        """
+        if progress is None:
+            progress = _flight.progress_enabled()
+        if not progress:
+            return [self.step(dt) for _ in range(nsteps)]
+        line = _flight.ProgressLine()
+        out = []
+        try:
+            for _ in range(nsteps):
+                stats = self.step(dt)
+                out.append(stats)
+                line.update(self.step_index, self.time, stats["dt"])
+        finally:
+            line.close()
+        return out

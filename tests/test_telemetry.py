@@ -1,0 +1,524 @@
+"""Run telemetry: metric time-series, run manifest, flight recorder,
+progress line, machine resolution, and the cross-run compare gate."""
+
+import copy
+import json
+import os
+import pathlib
+import time
+from io import StringIO
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, obs
+from repro.fem import GaussQuadrature, StructuredMesh
+from repro.matfree import make_operator
+from repro.obs import compare as obs_compare
+from repro.obs import flight, metrics
+from repro.perf import LAPTOP, MACHINES, MachineModel, resolve_machine
+from repro.stokes.solve import StokesConfig
+
+QUAD = GaussQuadrature.hex(3)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs(monkeypatch):
+    monkeypatch.delenv("REPRO_MACHINE", raising=False)
+    monkeypatch.delenv("REPRO_FLIGHT", raising=False)
+    monkeypatch.delenv("REPRO_FLIGHT_DIR", raising=False)
+    obs.disable()
+    obs.reset()
+    flight.disarm()
+    yield
+    obs.disable()
+    obs.reset()
+    flight.disarm()
+
+
+# --------------------------------------------------------------------- #
+# metric instruments
+# --------------------------------------------------------------------- #
+class TestInstruments:
+    def test_disabled_appenders_are_noops(self):
+        metrics.inc("k", 5)
+        metrics.gauge("g", 1.0)
+        metrics.observe("h", 2.0)
+        assert metrics.commit_step(0) == {}
+        assert metrics.export()["series"] == []
+        assert metrics.export()["last_step"] is None
+
+    def test_counter_is_cumulative(self):
+        obs.enable()
+        metrics.inc("krylov")
+        metrics.inc("krylov", 3)
+        metrics.commit_step(0)
+        metrics.inc("krylov", 2)
+        row = metrics.commit_step(1)
+        assert row["krylov"] == 6.0
+        (s,) = [s for s in metrics.export()["series"] if s["name"] == "krylov"]
+        assert s["kind"] == "counter"
+        assert s["steps"] == [0, 1]
+        assert s["values"] == [4.0, 6.0]
+
+    def test_gauge_is_last_write_wins(self):
+        obs.enable()
+        metrics.gauge("dt", 0.1)
+        metrics.gauge("dt", 0.05)
+        row = metrics.commit_step(0)
+        assert row["dt"] == 0.05
+        assert metrics.get_gauge("dt") == 0.05
+        assert metrics.get_gauge("missing", -1.0) == -1.0
+
+    def test_histogram_summary(self):
+        obs.enable()
+        for v in (1.0, 3.0, 2.0):
+            metrics.observe("step_seconds", v)
+        row = metrics.commit_step(0)
+        assert row["step_seconds.count"] == 3
+        assert row["step_seconds.sum"] == 6.0
+        assert row["step_seconds.min"] == 1.0
+        assert row["step_seconds.max"] == 3.0
+        names = {s["name"] for s in metrics.export()["series"]}
+        assert {"step_seconds.count", "step_seconds.sum",
+                "step_seconds.min", "step_seconds.max"} <= names
+
+    def test_reset_clears_instruments(self):
+        obs.enable()
+        metrics.inc("k")
+        metrics.commit_step(0)
+        obs.reset()
+        assert metrics.export()["series"] == []
+        assert metrics.get_gauge("k") is None
+
+
+# --------------------------------------------------------------------- #
+# run manifest + machine resolution
+# --------------------------------------------------------------------- #
+class TestManifest:
+    def test_defaults(self):
+        man = metrics.build_manifest()
+        assert man["schema"] == metrics.MANIFEST_SCHEMA
+        assert man["machine_model"] == "laptop"
+        assert man["machine"]["name"] == "laptop"
+        assert "numpy" in man["packages"]
+        assert man["config_hash"] is None and man["seed"] is None
+
+    def test_overrides_survive_disabled_profiling(self):
+        assert not obs.enabled()
+        metrics.set_manifest(config_hash="abc", seed=42, custom="x")
+        man = metrics.build_manifest()
+        assert man["config_hash"] == "abc"
+        assert man["seed"] == 42
+        assert man["custom"] == "x"
+
+    def test_machine_model_override(self):
+        metrics.set_manifest(machine_model="edison")
+        assert metrics.build_manifest()["machine_model"] == "edison"
+
+    def test_repro_env_is_captured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert metrics.build_manifest()["env"]["REPRO_WORKERS"] == "2"
+
+    def test_config_hash_is_stable_and_discriminates(self):
+        a = metrics.config_hash(StokesConfig(mg_levels=2))
+        b = metrics.config_hash(StokesConfig(mg_levels=2))
+        c = metrics.config_hash(StokesConfig(mg_levels=3))
+        assert a == b != c
+        assert len(a) == 16
+
+    def test_config_hash_handles_nested_config(self):
+        h = metrics.config_hash(SimulationConfig(stokes=StokesConfig()))
+        assert isinstance(h, str) and len(h) == 16
+
+
+class TestMachineResolution:
+    def test_default_is_laptop(self):
+        assert resolve_machine(None) is LAPTOP
+
+    def test_env_selects(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MACHINE", "edison")
+        assert resolve_machine(None).name == "edison"
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MACHINE", "edison")
+        assert resolve_machine("laptop") is LAPTOP
+
+    def test_case_insensitive_and_passthrough(self):
+        assert resolve_machine("EDISON").name == "edison"
+        m = MACHINES["edison"]
+        assert resolve_machine(m) is m
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            resolve_machine("cray-1")
+
+    def test_log_view_records_machine_in_manifest(self):
+        obs.enable()
+        with obs.timed("ev"):
+            pass
+        obs.log_view(stream=StringIO(), machine="edison")
+        assert metrics.build_manifest()["machine_model"] == "edison"
+
+    def test_as_dict_round_trips_json(self):
+        d = LAPTOP.as_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert isinstance(resolve_machine(None), MachineModel)
+
+
+# --------------------------------------------------------------------- #
+# flight recorder
+# --------------------------------------------------------------------- #
+class TestFlightRecorder:
+    def test_disarmed_is_noop(self):
+        flight.record_step({"step": 0})
+        assert flight.trigger("manual") is None
+        assert flight.armed() is None
+
+    def test_ring_buffer_evicts_oldest(self, tmp_path):
+        rec = flight.arm(capacity=3, directory=tmp_path)
+        for i in range(5):
+            flight.record_step({"step": i})
+        assert [s["step"] for s in rec.steps] == [2, 3, 4]
+
+    def test_trigger_dumps_validated_document(self, tmp_path):
+        obs.enable()
+        rec = flight.arm(capacity=4, directory=tmp_path)
+        metrics.gauge("dt", 0.1)
+        row = metrics.commit_step(0)
+        flight.record_step({"step": 0, "metrics": row})
+        path = flight.trigger("rollback", step=0, reason="diverged")
+        assert path in rec.dumps
+        assert os.path.basename(path) == "FLIGHT_rollback_001.json"
+        with open(path) as fh:
+            doc = flight.validate_flight(json.load(fh))
+        assert doc["trigger"] == {"kind": "rollback", "step": 0,
+                                  "reason": "diverged"}
+        assert doc["steps"][0]["metrics"]["dt"] == 0.1
+        assert doc["manifest"]["machine_model"] == "laptop"
+
+    def test_dump_indices_increment(self, tmp_path):
+        rec = flight.arm(capacity=2, directory=tmp_path)
+        rec.record_step({"step": 0})
+        p1 = flight.trigger("manual")
+        p2 = flight.trigger("breakdown")
+        assert p1.endswith("FLIGHT_manual_001.json")
+        assert p2.endswith("FLIGHT_breakdown_002.json")
+        assert rec.dumps == [p1, p2]
+
+    def test_numpy_records_are_jsonable(self, tmp_path):
+        flight.arm(capacity=2, directory=tmp_path)
+        flight.record_step({"step": 0,
+                            "stats": {"fnorm": np.float64(1e-9),
+                                      "ok": np.bool_(True),
+                                      "res": np.arange(3)}})
+        path = flight.trigger("manual")
+        with open(path) as fh:
+            step = json.load(fh)["steps"][0]
+        assert step["stats"] == {"fnorm": 1e-9, "ok": True, "res": [0, 1, 2]}
+
+    def test_arm_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT", "0")
+        assert flight.maybe_arm_from_env() is None
+        monkeypatch.setenv("REPRO_FLIGHT", "8")
+        assert flight.maybe_arm_from_env().capacity == 8
+        flight.disarm()
+        monkeypatch.setenv("REPRO_FLIGHT", "yes")
+        assert flight.maybe_arm_from_env().capacity == 32
+
+    def test_arm_from_env_keeps_existing_recorder(self, monkeypatch):
+        rec = flight.arm(capacity=5)
+        monkeypatch.setenv("REPRO_FLIGHT", "16")
+        assert flight.maybe_arm_from_env() is rec
+
+    def test_reset_clears_buffer_but_stays_armed(self, tmp_path):
+        rec = flight.arm(capacity=4, directory=tmp_path)
+        flight.record_step({"step": 0})
+        obs.reset()
+        assert flight.armed() is rec
+        assert len(rec.steps) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            flight.FlightRecorder(capacity=0)
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda d: d.update(schema="bogus/9"), "schema"),
+        (lambda d: d.pop("manifest"), "missing top-level key"),
+        (lambda d: d.update(steps=[{"no_step": 1}]), "int 'step'"),
+        (lambda d: d.update(steps=[{"step": i} for i in range(9)]),
+         "more buffered steps than capacity"),
+    ])
+    def test_validate_flight_rejects(self, tmp_path, mutate, match):
+        rec = flight.arm(capacity=2, directory=tmp_path)
+        rec.record_step({"step": 0})
+        doc = rec.document("manual")
+        mutate(doc)
+        with pytest.raises(ValueError, match=match):
+            flight.validate_flight(doc)
+
+
+class TestProgressLine:
+    def test_renders_step_dt_and_residual_gauge(self):
+        obs.enable()
+        metrics.gauge("snes_last_fnorm", 3.2e-7)
+        out = StringIO()
+        line = obs.ProgressLine(stream=out)
+        text = line.update(4, 0.25, 1e-3)
+        assert "step 4" in text and "dt 1.00e-03" in text
+        assert "|F| 3.20e-07" in text and "steps/s" in text
+        assert out.getvalue().startswith("\r")
+        line.close()
+        assert out.getvalue().endswith("\n")
+
+    def test_explicit_residual_and_no_worker_column(self):
+        line = obs.ProgressLine(stream=StringIO())
+        text = line.update(0, 0.0, 0.1, residual=1e-2)
+        assert "|F| 1.00e-02" in text
+        assert "workers" not in text  # no live executor
+
+    def test_broken_stream_never_raises(self):
+        class Broken:
+            def write(self, _):
+                raise BrokenPipeError
+            def flush(self):
+                raise BrokenPipeError
+
+        line = obs.ProgressLine(stream=Broken())
+        line.update(0, 0.0, 0.1)
+        line.close()
+
+    def test_progress_env_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        assert not flight.progress_enabled()
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        assert flight.progress_enabled()
+        monkeypatch.setenv("REPRO_PROGRESS", "false")
+        assert not flight.progress_enabled()
+
+
+# --------------------------------------------------------------------- #
+# document schema: metrics + manifest ride in repro.obs/1
+# --------------------------------------------------------------------- #
+class TestDocumentSchema:
+    def test_snapshot_carries_metrics_and_manifest(self):
+        obs.enable()
+        metrics.inc("k")
+        metrics.commit_step(0)
+        doc = obs.validate(obs.snapshot())
+        assert doc["metrics"]["series"][0]["name"] == "k"
+        assert doc["manifest"]["schema"] == metrics.MANIFEST_SCHEMA
+
+    def test_pre_telemetry_documents_still_validate(self):
+        doc = obs.snapshot()
+        doc.pop("metrics")
+        doc.pop("manifest")
+        obs.validate(doc)  # optional keys: back-compat with old exports
+
+    def test_malformed_series_rejected(self):
+        doc = obs.snapshot()
+        doc["metrics"]["series"] = [{"name": "x", "kind": "gauge",
+                                     "steps": [0, 1], "values": [1.0]}]
+        with pytest.raises(ValueError, match="steps/values"):
+            obs.validate(doc)
+
+    def test_write_json_accepts_pathlike(self, tmp_path):
+        obs.enable()
+        with obs.timed("ev"):
+            pass
+        path = tmp_path / "trace.json"         # a pathlib.Path, not a str
+        assert isinstance(path, pathlib.Path)
+        obs.write_json(path, meta={"case": "pathlike"})
+        doc = obs_compare.load_document(path)
+        assert doc["meta"]["case"] == "pathlike"
+        assert doc["manifest"]["machine_model"] == "laptop"
+
+
+# --------------------------------------------------------------------- #
+# cross-run compare gate
+# --------------------------------------------------------------------- #
+def tiny_document(sleep=0.03, ksp_iters=4, steps=2):
+    """A real, validated document from a synthetic instrumented 'run'."""
+    obs.reset()
+    obs.enable()
+    for step in range(steps):
+        with obs.stage("TimeStep"):
+            with obs.timed("StokesSolve"):
+                time.sleep(sleep)
+            obs.trace_ksp("fgmres", 0, 1.0)
+            for i in range(1, ksp_iters + 1):
+                obs.trace_ksp("fgmres", i, 10.0 ** -i)
+        metrics.gauge("dt", 0.1)
+        metrics.commit_step(step)
+    doc = obs.validate(obs.snapshot())
+    obs.disable()
+    obs.reset()
+    return doc
+
+
+def slow_copy(doc, factor=2.0):
+    """A candidate with every event wall time scaled by ``factor``."""
+    out = copy.deepcopy(doc)
+    for ev in out["events"]:
+        ev["seconds"] *= factor
+        ev["self_seconds"] *= factor
+        if ev["gflops_per_s"]:
+            ev["gflops_per_s"] /= factor
+    return out
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def base_doc(self):
+        return tiny_document()
+
+    def test_identical_documents_pass(self, base_doc):
+        result = obs_compare.compare(base_doc, copy.deepcopy(base_doc))
+        assert result.passed and result.findings
+        assert "PASS" in obs_compare.render(result)
+
+    def test_synthetic_2x_slowdown_fails(self, base_doc):
+        result = obs_compare.compare(base_doc, slow_copy(base_doc, 2.0))
+        assert not result.passed
+        names = {f.name for f in result.regressions}
+        assert "total_self_seconds" in names
+        assert any(f.name.endswith("StokesSolve") for f in result.regressions)
+        (tot,) = [f for f in result.regressions
+                  if f.name == "total_self_seconds"]
+        assert tot.ratio == pytest.approx(2.0)
+        assert "FAIL" in obs_compare.render(result)
+
+    def test_threshold_is_configurable(self, base_doc):
+        cand = slow_copy(base_doc, 2.0)
+        assert obs_compare.compare(base_doc, cand, max_slowdown=3.0).passed
+
+    def test_iteration_growth_is_gated_separately(self, base_doc):
+        cand = tiny_document(ksp_iters=8)
+        result = obs_compare.compare(base_doc, cand, max_slowdown=1e9)
+        bad = {f.name for f in result.regressions}
+        assert bad == {"ksp_iterations"}
+
+    def test_step_count_mismatch_flagged(self, base_doc):
+        result = obs_compare.compare(base_doc, tiny_document(steps=1),
+                                     max_slowdown=1e9, max_iter_growth=1e9)
+        assert {f.name for f in result.regressions} == {"time_steps"}
+
+    def test_min_seconds_skips_noise_events(self, base_doc):
+        cand = slow_copy(base_doc, 100.0)
+        result = obs_compare.compare(base_doc, cand, min_seconds=1e9)
+        assert not any(f.kind in ("event", "total") for f in result.findings)
+
+    def test_iterations_fall_back_to_traces(self, base_doc):
+        b = copy.deepcopy(base_doc)
+        c = copy.deepcopy(base_doc)
+        for d in (b, c):
+            d["metrics"]["series"] = []   # pre-metrics document
+        for rec in c["traces"]["ksp"]:
+            rec["iteration"] *= 2         # looks like twice the iterations
+        result = obs_compare.compare(b, c, max_slowdown=1e9)
+        assert result.passed  # same *count* of nonzero iterations
+        assert any(f.name == "ksp_iterations" for f in result.findings)
+
+    def test_as_dict_round_trips(self, base_doc):
+        d = obs_compare.compare(base_doc, base_doc).as_dict()
+        assert d["schema"] == "repro.obs.compare/1"
+        assert json.loads(json.dumps(d)) == d
+
+
+class TestCompareCLI:
+    @pytest.fixture()
+    def docs_on_disk(self, tmp_path):
+        base = tiny_document()
+        paths = {}
+        for name, doc in (("base", base),
+                          ("same", copy.deepcopy(base)),
+                          ("slow", slow_copy(base, 2.0))):
+            p = tmp_path / f"{name}.json"
+            p.write_text(json.dumps(doc))
+            paths[name] = str(p)
+        return paths
+
+    def test_exit_codes(self, docs_on_disk, capsys):
+        d = docs_on_disk
+        assert obs_compare.main([d["base"], d["same"]]) == 0
+        assert obs_compare.main([d["base"], d["slow"]]) == 1
+        assert obs_compare.main([d["base"], d["slow"], "--warn-only"]) == 0
+        out = capsys.readouterr().out
+        assert "warn-only" in out
+
+    def test_bad_input_exits_2(self, docs_on_disk, tmp_path, capsys):
+        assert obs_compare.main([docs_on_disk["base"],
+                                 str(tmp_path / "missing.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"schema\": \"nope\"}")
+        assert obs_compare.main([docs_on_disk["base"], str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_diff_artifact(self, docs_on_disk, tmp_path, capsys):
+        out = tmp_path / "diff.json"
+        code = obs_compare.main([docs_on_disk["base"], docs_on_disk["slow"],
+                                 "--json", str(out)])
+        assert code == 1
+        diff = json.loads(out.read_text())
+        assert diff["passed"] is False
+        assert any(f["regression"] for f in diff["findings"])
+        capsys.readouterr()
+
+
+# --------------------------------------------------------------------- #
+# telemetry under parallelism (ISSUE satellite: bit-identical export
+# round-trip with REPRO_WORKERS=2 on both backends, executor stats in)
+# --------------------------------------------------------------------- #
+class TestTelemetryUnderParallelism:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_export_round_trips_with_executor_stats(self, tmp_path,
+                                                    monkeypatch, backend):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        rng = np.random.default_rng(3)
+        mesh = StructuredMesh((3, 3, 4), order=2)
+        eta = np.exp(rng.normal(scale=0.5, size=(mesh.nel, QUAD.npoints)))
+        obs.enable()
+        op = make_operator("tensor", mesh, eta, quad=QUAD,
+                           parallel_backend=backend)  # workers from env
+        try:
+            with obs.stage("TimeStep"):
+                y = op.apply(rng.standard_normal(3 * mesh.nnodes))
+            assert np.isfinite(y).all()
+            metrics.commit_step(0)
+            doc = obs.validate(obs.snapshot())
+        finally:
+            op.executor.shutdown()
+
+        # ExecutorStats aggregated into the document
+        ex = doc["metrics"]["executors"]
+        assert ex["dispatches"] >= 1 and ex["tasks"] >= 2
+        assert ex["worker_busy_seconds"] > 0.0
+        gauges = {s["name"] for s in doc["metrics"]["series"]}
+        assert {"executor.dispatches", "executor.tasks",
+                "executor.workers"} <= gauges
+        assert doc["manifest"]["env"]["REPRO_WORKERS"] == "2"
+
+        # export -> serialize -> parse -> serialize is bit-identical
+        first = json.dumps(doc, sort_keys=True)
+        second = json.dumps(json.loads(first), sort_keys=True)
+        assert first == second
+
+        # and the on-disk document equals the in-memory snapshot
+        path = tmp_path / f"par_{backend}.json"
+        obs.write_json(path)
+        loaded = obs_compare.load_document(path)
+        for key in ("metrics", "events", "stages", "traces"):
+            assert json.dumps(loaded[key], sort_keys=True) == \
+                json.dumps(json.loads(json.dumps(doc[key])), sort_keys=True)
+
+    def test_weakset_drops_dead_executors(self):
+        from repro.parallel import ParallelExecutor
+
+        before = metrics.total_workers()
+        ex = ParallelExecutor(workers=2, backend="thread")
+        assert metrics.total_workers() == before + 2
+        ex.shutdown()
+        del ex
+        import gc
+        gc.collect()
+        assert metrics.total_workers() == before
