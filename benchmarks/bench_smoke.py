@@ -11,8 +11,11 @@ tracked history instead of vanishing with the job.
 
 Regenerate the baseline (from a quiet machine) with::
 
-    REPRO_BENCH_JSON_DIR=benchmarks/baselines \\
-        PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py -q
+    PYTHONPATH=src python benchmarks/bench_smoke.py --update-baseline
+
+which reruns this module's benches with ``$REPRO_BENCH_JSON_DIR`` pointed
+at ``benchmarks/baselines/`` so the committed ``BENCH_smoke.json`` is
+rewritten with the current manifest -- no more hand-editing.
 """
 
 import numpy as np
@@ -48,3 +51,33 @@ def test_smoke_steps():
     assert all(s["newton_converged"] for s in stats)
     series = {s["name"] for s in obs.metrics.export()["series"]}
     assert {"dt", "points", "krylov_iterations"} <= series
+
+
+if __name__ == "__main__":
+    import argparse
+    import os
+    import sys
+    from pathlib import Path
+
+    import pytest
+
+    ap = argparse.ArgumentParser(
+        description="Run the smoke bench; --update-baseline rewrites the "
+                    "committed perf-gate baseline with the current manifest."
+    )
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="write BENCH_smoke.json into benchmarks/baselines/ "
+                         "instead of the default output directory")
+    args = ap.parse_args()
+
+    if args.update_baseline:
+        baselines = Path(__file__).parent / "baselines"
+        os.environ["REPRO_BENCH_JSON_DIR"] = str(baselines)
+        # the baseline is compared against candidates from any run mode;
+        # keep it span-free (the timeline section is candidate-only)
+        os.environ.pop("REPRO_TIMELINE", None)
+        print(f"regenerating {baselines / 'BENCH_smoke.json'} ...")
+    rc = pytest.main([__file__, "-q"])
+    if rc == 0 and args.update_baseline:
+        print("baseline updated; review and commit the diff")
+    sys.exit(rc)

@@ -23,6 +23,7 @@ Run:  python benchmarks/check_obs_overhead.py [--mode solve|sim]
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 import tempfile
 import time
@@ -47,9 +48,10 @@ def solve_once(enabled: bool) -> float:
     return elapsed
 
 
-def sim_once(enabled: bool) -> float:
+def sim_once(enabled: bool, timeline: bool = False) -> float:
     """Two coupled time steps, with the whole telemetry layer on one side:
-    profiling, per-step metric sampling, and an armed flight recorder."""
+    profiling, per-step metric sampling, and an armed flight recorder --
+    plus armed timeline span capture when ``timeline`` is set."""
     from repro import SimulationConfig
     from repro.sim.sinker import make_sinker
 
@@ -57,6 +59,8 @@ def sim_once(enabled: bool) -> float:
     if enabled:
         obs.enable()
         obs.flight.arm(capacity=16, directory=tempfile.gettempdir())
+        if timeline:
+            obs.timeline.arm(capacity=4096)
     sim = make_sinker(
         SinkerConfig(shape=(4, 4, 4)),
         SimulationConfig(stokes=StokesConfig(mg_levels=2, coarse_solver="lu")),
@@ -67,6 +71,10 @@ def sim_once(enabled: bool) -> float:
     if enabled:
         assert obs.metrics.export()["series"], "telemetry recorded nothing"
         assert len(obs.flight.armed().steps) == 2
+        if timeline:
+            assert obs.timeline.armed().recorded > 0, \
+                "timeline armed but recorded no spans"
+            obs.timeline.disarm()
     obs.flight.disarm()
     obs.disable()
     assert all(s["newton_converged"] for s in stats)
@@ -85,9 +93,18 @@ def main(argv=None) -> int:
                          "'sim': a short time-loop run with the full "
                          "telemetry layer (metrics + flight recorder) on "
                          "the enabled side (default %(default)s)")
+    ap.add_argument("--timeline", action="store_true",
+                    help="(sim mode) also arm repro.obs.timeline span "
+                         "capture on the enabled side -- the spans-armed "
+                         "clean-path overhead bound")
     args = ap.parse_args(argv)
 
-    run_once = solve_once if args.mode == "solve" else sim_once
+    if args.timeline and args.mode != "sim":
+        ap.error("--timeline requires --mode sim")
+    if args.mode == "solve":
+        run_once = solve_once
+    else:
+        run_once = functools.partial(sim_once, timeline=args.timeline)
     run_once(False)  # warm up imports, caches, BLAS threads
     run_once(True)
     off, on = [], []
@@ -109,7 +126,8 @@ def main(argv=None) -> int:
     kind, ratio = min(estimates.items(), key=lambda kv: kv[1])
     overhead = ratio - 1.0
     print("estimates: " + ", ".join(f"{k} {v - 1:+.2%}" for k, v in estimates.items()))
-    print(f"observability overhead (mode {args.mode}, {args.rounds} pairs, "
+    mode = args.mode + ("+timeline" if args.timeline else "")
+    print(f"observability overhead (mode {mode}, {args.rounds} pairs, "
           f"{kind} estimator): "
           f"{100 * overhead:+.2f}% (limit {100 * args.max_overhead:.0f}%)")
     if overhead > args.max_overhead:

@@ -28,6 +28,12 @@ def obs_trace(request):
     """
     obs.reset()
     obs.enable()
+    # CI sets $REPRO_TIMELINE=1 so candidate BENCH documents carry a
+    # "timeline" section (Perfetto trace artifact + --max-imbalance gate);
+    # plain/baseline runs stay span-free
+    armed_here = obs.timeline.armed() is None and (
+        obs.timeline.maybe_arm_from_env() is not None
+    )
     yield
     obs.disable()
     mod = request.module.__name__
@@ -39,6 +45,8 @@ def obs_trace(request):
     outdir.mkdir(parents=True, exist_ok=True)
     path = outdir / f"BENCH_{mod.removeprefix('bench_')}.json"
     obs.write_json(path, meta={"module": mod})
+    if armed_here:
+        obs.timeline.disarm()
     obs.reset()
 
 

@@ -27,6 +27,11 @@ with achieved GF/s against the analytic Table I flop counts, per-level
 multigrid smoother/transfer events, Krylov and Newton solves, MPM
 advection/projection, ALE remeshing -- and the same data is written as a
 schema-validated JSON trace (``quickstart_trace.json``).
+
+With ``--trace-out PATH`` (implies ``--log-view``) the per-worker span
+timeline is armed as well and the merged spans are written as Chrome
+trace-event JSON -- open the file at https://ui.perfetto.dev to scrub
+through every stage, event, and executor task of the run.
 """
 
 import argparse
@@ -55,17 +60,22 @@ def free_slip(mesh) -> DirichletBC:
 
 
 def log_view_run(trace_path: str = "quickstart_trace.json",
-                 machine: str | None = None) -> None:
+                 machine: str | None = None,
+                 trace_out: str | None = None) -> None:
     """Profile a small end-to-end run and print the ``-log_view`` table.
 
     ``machine`` selects the roofline machine model by name (default:
     ``$REPRO_MACHINE`` or ``laptop``); the model used is recorded in the
-    exported run manifest.
+    exported run manifest.  ``trace_out`` additionally arms the
+    per-worker timeline and writes the merged spans as Chrome
+    trace-event JSON -- drop the file on https://ui.perfetto.dev.
     """
     from repro import SimulationConfig, obs
     from repro.sim.sinker import SinkerConfig, make_sinker
 
     obs.enable()
+    if trace_out is not None:
+        obs.timeline.arm()
     sim = make_sinker(
         SinkerConfig(shape=(4, 4, 4)),
         SimulationConfig(
@@ -95,6 +105,16 @@ def log_view_run(trace_path: str = "quickstart_trace.json",
           f"{len(names)} events, {len(doc['traces']['ksp'])} Krylov records, "
           f"{len(series)} metric series, machine model "
           f"'{man['machine_model']}'")
+    if trace_out is not None:
+        section = doc["timeline"]
+        assert section["spans"], "timeline armed but no spans captured"
+        trace = obs.timeline.write_chrome_trace(trace_out, section)
+        an = section["analysis"]
+        print(f"Perfetto trace ({len(trace['traceEvents'])} events, "
+              f"{len(an['workers'])} track(s), serial fraction "
+              f"{an['critical_path']['serial_fraction']:.0%}) written to "
+              f"{trace_out} -- open at https://ui.perfetto.dev")
+        obs.timeline.disarm()
     obs.disable()
     obs.reset()
 
@@ -260,6 +280,12 @@ if __name__ == "__main__":
              "or 'laptop'); recorded in the exported run manifest",
     )
     parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also capture a per-worker span timeline and write it as "
+             "Chrome trace-event JSON viewable at https://ui.perfetto.dev "
+             "(implies --log-view)",
+    )
+    parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="shared-memory workers for the element kernels (default: "
              "$REPRO_WORKERS or serial); results are identical to serial",
@@ -276,8 +302,8 @@ if __name__ == "__main__":
     )
     args = parser.parse_args()
     main(workers=args.workers)
-    if args.log_view:
-        log_view_run(machine=args.machine)
+    if args.log_view or args.trace_out:
+        log_view_run(machine=args.machine, trace_out=args.trace_out)
     if args.inject_fault == "nan":
         inject_fault_run()
     elif args.inject_fault is not None:

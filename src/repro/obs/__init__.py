@@ -22,9 +22,10 @@ Profiling is off by default; the disabled fast path is a single flag test
 hot paths permanently.
 """
 
-# NOTE: .compare is deliberately not imported eagerly -- it is the
-# ``python -m repro.obs.compare`` CLI, and pre-importing it here would
-# trip runpy's double-import warning on every invocation
+# NOTE: .compare and .timeline are deliberately not imported eagerly --
+# both are ``python -m`` CLIs, and pre-importing them here would trip
+# runpy's double-import warning on every invocation; reach them lazily
+# via attribute access (``obs.timeline`` works through __getattr__ below)
 from . import flight, metrics
 from .flight import FLIGHT_SCHEMA, ProgressLine, validate_flight
 from .registry import (
@@ -65,6 +66,15 @@ __all__ = [
     "log_view", "roofline_fraction",
     "SCHEMA", "snapshot", "validate", "write_json", "attach_monitor",
     "trace_ksp", "trace_snes", "trace_mg", "trace_resilience",
-    "metrics", "flight",
+    "metrics", "flight", "timeline", "compare",
     "FLIGHT_SCHEMA", "ProgressLine", "validate_flight",
 ]
+
+
+def __getattr__(name):
+    # lazy submodule access for the python -m CLIs (see NOTE above)
+    if name in ("timeline", "compare"):
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

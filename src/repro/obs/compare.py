@@ -148,18 +148,35 @@ def _step_count(doc: dict) -> float:
     return 0.0
 
 
+def _timeline_analysis(doc: dict) -> dict | None:
+    tl = doc.get("timeline")
+    if not isinstance(tl, dict):
+        return None
+    return tl.get("analysis")
+
+
 def compare(
     baseline: dict,
     candidate: dict,
     max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
     max_iter_growth: float = DEFAULT_MAX_ITER_GROWTH,
     min_seconds: float = DEFAULT_MIN_SECONDS,
+    max_imbalance: float | None = None,
 ) -> CompareResult:
-    """Diff two validated documents; see the module docstring for rules."""
+    """Diff two validated documents; see the module docstring for rules.
+
+    ``max_imbalance`` gates the candidate timeline's worst per-dispatch
+    load imbalance (``max task time / mean task time``) when the
+    candidate carries a ``timeline`` section; ``None`` (the default)
+    reports it without gating.
+    """
     result = CompareResult(thresholds={
         "max_slowdown": float(max_slowdown),
         "max_iter_growth": float(max_iter_growth),
         "min_seconds": float(min_seconds),
+        "max_imbalance": (
+            None if max_imbalance is None else float(max_imbalance)
+        ),
     })
     add = result.findings.append
 
@@ -202,6 +219,28 @@ def compare(
                     _ratio(b_steps, c_steps), b_steps != c_steps,
                     note="step-count mismatch" if b_steps != c_steps else ""))
 
+    # -- timeline load balance (gated only when --max-imbalance is set) - #
+    c_an = _timeline_analysis(candidate)
+    if c_an is not None:
+        b_an = _timeline_analysis(baseline) or {}
+        b_imb = float(b_an.get("dispatches", {}).get("max_imbalance", 0.0))
+        c_imb = float(c_an.get("dispatches", {}).get("max_imbalance", 0.0))
+        gate = max_imbalance is not None and c_imb > max_imbalance
+        add(Finding(
+            "timeline", "dispatch_imbalance_max", b_imb, c_imb,
+            _ratio(b_imb, c_imb), gate,
+            note=(f"above --max-imbalance {max_imbalance:g}" if gate else ""),
+        ))
+        b_util = {wk["rank"]: wk for wk in b_an.get("workers", [])}
+        for wk in c_an.get("workers", []):
+            if wk["rank"] < 0:
+                continue  # the master track is not a load-balance signal
+            b_wk = b_util.get(wk["rank"], {})
+            b_u = float(b_wk.get("utilization", 0.0))
+            c_u = float(wk["utilization"])
+            add(Finding("timeline", f"worker{wk['rank']}_utilization",
+                        b_u, c_u, _ratio(b_u, c_u), False))
+
     # -- remaining final metric values (informational, never gating) ---- #
     b_names = {s["name"] for s in baseline.get("metrics", {}).get("series", [])}
     c_names = {s["name"] for s in candidate.get("metrics", {}).get("series", [])}
@@ -225,7 +264,7 @@ def render(result: CompareResult, verbose: bool = False) -> str:
     rows = result.regressions + [
         f for f in result.findings
         if not f.regression and (verbose or f.kind in ("total", "iterations",
-                                                       "steps"))
+                                                       "steps", "timeline"))
     ]
     if rows:
         w = max(len(f.name) for f in rows) + 2
@@ -267,6 +306,10 @@ def main(argv: list | None = None) -> int:
     ap.add_argument("--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
                     help="ignore events below this baseline time "
                          "(default %(default)s)")
+    ap.add_argument("--max-imbalance", type=float, default=None,
+                    help="fail when the candidate timeline's worst "
+                         "per-dispatch load imbalance (max/mean task "
+                         "time) exceeds this; default: report only")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but exit 0 (CI soft gate)")
     ap.add_argument("--json", metavar="PATH", default=None,
@@ -288,6 +331,7 @@ def main(argv: list | None = None) -> int:
         max_slowdown=args.max_slowdown,
         max_iter_growth=args.max_iter_growth,
         min_seconds=args.min_seconds,
+        max_imbalance=args.max_imbalance,
     )
     print(render(result, verbose=args.verbose))
     if args.json:

@@ -251,10 +251,21 @@ class ProgressLine:
     by ``workers x wall`` since the previous update (blank when no
     executor is live).  Writes to ``stream`` (default stderr) and never
     raises -- a broken pipe must not kill the run it narrates.
+
+    The ``\\r`` rewrite only happens when the stream reports
+    ``isatty()``; on a redirected stream (CI logs, ``2>run.log``) every
+    ``interval``-th update -- plus the first -- is written as a plain
+    newline-terminated line instead, so logs stay readable rather than
+    accumulating one giant carriage-return soup line.
     """
 
-    def __init__(self, stream=None):
+    def __init__(self, stream=None, interval: int = 10):
         self.stream = stream if stream is not None else sys.stderr
+        self.interval = max(1, int(interval))
+        try:
+            self._tty = bool(self.stream.isatty())
+        except Exception:
+            self._tty = False
         self.t0 = time.perf_counter()
         self._last_t = self.t0
         self._last_busy = metrics.aggregate_executor_stats().get(
@@ -294,15 +305,19 @@ class ProgressLine:
         text = self.format(step, sim_time, dt, residual, util)
         self._width = max(self._width, len(text))
         try:
-            self.stream.write("\r" + text.ljust(self._width))
-            self.stream.flush()
+            if self._tty:
+                self.stream.write("\r" + text.ljust(self._width))
+                self.stream.flush()
+            elif self.count == 1 or self.count % self.interval == 0:
+                self.stream.write(text + "\n")
+                self.stream.flush()
         except Exception:
             pass
         return text
 
     def close(self) -> None:
         try:
-            if self.count:
+            if self.count and self._tty:
                 self.stream.write("\n")
                 self.stream.flush()
         except Exception:

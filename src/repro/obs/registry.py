@@ -175,6 +175,18 @@ def reset() -> None:
         fn()
 
 
+#: span sink armed by :mod:`repro.obs.timeline` -- called with
+#: ``(name, cat, stage_path, t0, t1, flops, nbytes)`` at every event/stage
+#: exit while set; ``None`` keeps the exit paths one extra test each
+_SPAN_SINK = None
+
+
+def set_span_sink(fn) -> None:
+    """Install (or clear, with ``None``) the timeline span sink."""
+    global _SPAN_SINK
+    _SPAN_SINK = fn
+
+
 class _NullTimer:
     """Shared no-op context manager: the disabled fast path."""
 
@@ -230,6 +242,9 @@ class _Timer:
         rec.bytes += self.nbytes
         if frames:
             frames[-1].child += elapsed
+        if _SPAN_SINK is not None:
+            _SPAN_SINK(rec.name, "event", rec.stage, self.t0,
+                       self.t0 + elapsed, self.flops, self.nbytes)
         return False
 
 
@@ -272,6 +287,9 @@ class _StageTimer:
         stack = REGISTRY._stage_stack
         stack.pop()
         REGISTRY._stage_path = "/".join(stack)
+        if _SPAN_SINK is not None:
+            _SPAN_SINK(self.name, "stage", path, self.t0,
+                       self.t0 + elapsed, 0, 0)
         rec = REGISTRY.stages.get(path)
         if rec is None:
             rec = REGISTRY.stages[path] = StageRecord(path)

@@ -143,7 +143,7 @@ def snapshot(meta: dict | None = None) -> dict:
     config hash, machine model, package versions, seed) -- every export,
     benchmarks included, is self-describing.
     """
-    return {
+    doc = {
         "schema": SCHEMA,
         "stages": [s.as_dict() for s in REGISTRY.stages.values()],
         "events": [e.as_dict() for e in REGISTRY.events.values()],
@@ -153,6 +153,14 @@ def snapshot(meta: dict | None = None) -> dict:
         "manifest": _metrics.build_manifest(),
         "meta": dict(meta or {}),
     }
+    # lazy: repro.obs.timeline is runnable via ``python -m`` and must not
+    # be imported eagerly from the package path (runpy double-import)
+    from . import timeline as _timeline
+
+    tl = _timeline.armed()
+    if tl is not None:
+        doc["timeline"] = tl.export()
+    return doc
 
 
 def write_json(path: str | os.PathLike, meta: dict | None = None) -> dict:
@@ -240,4 +248,10 @@ def validate(doc: dict) -> dict:
                 )
     if "manifest" in doc and not isinstance(doc["manifest"], dict):
         raise ValueError("manifest must be a dict")
+    # "timeline" only appears while repro.obs.timeline is armed; optional
+    # for the same back-compat reason as metrics/manifest above
+    if "timeline" in doc:
+        from . import timeline as _timeline
+
+        _timeline.validate_timeline(doc["timeline"])
     return doc

@@ -75,6 +75,19 @@ __all__ = [
 ENV_WORKERS = "REPRO_WORKERS"
 ENV_BACKEND = "REPRO_PARALLEL_BACKEND"
 
+# repro.obs.timeline is a ``python -m`` CLI and must not be imported at
+# package-import time (runpy double-import); resolve it on first dispatch
+_TIMELINE_MOD = None
+
+
+def _timeline():
+    global _TIMELINE_MOD
+    if _TIMELINE_MOD is None:
+        from ..obs import timeline
+
+        _TIMELINE_MOD = timeline
+    return _TIMELINE_MOD
+
 _BACKENDS = ("auto", "thread", "process", "serial")
 
 
@@ -197,20 +210,34 @@ def _attach_shm(name: str):
 def _process_task(payload):
     """Runs in a forked worker: one span of one dispatch."""
     (token, version, method, s, e, in_name, n_in, out_name, out_off,
-     out_size, t_submit) = payload
+     out_size, t_submit, tl_args) = payload
     wait = time.monotonic() - t_submit
     t0 = time.perf_counter()
     state = _FORK_REGISTRY.get(token)
     if state is None or getattr(state, "_parallel_state_version", 0) != version:
-        return ("stale", 0.0, 0.0)
+        return ("stale", 0.0, 0.0, [])
     u = np.ndarray((n_in,), dtype=np.float64, buffer=_attach_shm(in_name).buf)
     u.flags.writeable = False
     out = np.ndarray(
         (out_size,), dtype=np.float64,
         buffer=_attach_shm(out_name).buf, offset=8 * out_off,
     )
-    out[:] = getattr(state, method)(u, int(s), int(e))
-    return ("ok", wait, time.perf_counter() - t0)
+
+    def kernel():
+        out[:] = getattr(state, method)(u, int(s), int(e))
+
+    if tl_args is None:
+        kernel()
+        spans = []
+    else:
+        # timeline armed on the master: spool this task's spans (the task
+        # itself plus any events the fork-inherited sink captured) back
+        # through the result channel for the master to merge
+        rank, dispatch, origin = tl_args
+        _, spans = _timeline().remote_task_capture(
+            kernel, method, rank, dispatch, origin
+        )
+    return ("ok", wait, time.perf_counter() - t0, spans)
 
 
 def _register_state(state) -> int:
@@ -290,6 +317,8 @@ class ParallelExecutor:
             backend = "serial"
         self.backend = backend
         self.stats = ExecutorStats()
+        self._tl = None            # armed timeline, re-resolved per dispatch
+        self._dispatch_id = 0
         self._pool = None
         self._crashed = False           # a WorkerCrash dropped the pool
         self._fork_known: set = set()   # (token, version) pairs seen by pool
@@ -361,6 +390,8 @@ class ParallelExecutor:
         u = np.ascontiguousarray(u, dtype=np.float64)
         if self.backend == "serial" or len(spans) == 1:
             return self.run_serial(state, method, spans, u, sizes, mode)
+        self._tl = _timeline().armed()
+        self._dispatch_id = self.stats.dispatches
         nbytes_out = 8 * int(sum(sizes))
         with _obs.timed("ParExecDispatch", nbytes=u.nbytes + nbytes_out):
             if self.backend == "thread":
@@ -413,6 +444,10 @@ class ParallelExecutor:
         self.stats.worker_busy_seconds += busy
         _obs.log_event_seconds("ParExecQueueWait", wait, count=n)
         _obs.log_event_seconds("ParExecWorkerBusy", busy, count=n)
+        if self._tl is not None:
+            # busies arrive in task-submission order == worker-rank order,
+            # so the straggler index note_dispatch records is the rank
+            self._tl.note_dispatch(busies)
 
     def _reduce_timed(self, partials, mode):
         t0 = time.perf_counter()
@@ -429,14 +464,26 @@ class ParallelExecutor:
                 thread_name_prefix="repro-exec",
             )
         fn = getattr(state, method)
+        tl, disp = self._tl, self._dispatch_id
 
-        def task(s, e, t_submit):
+        def task(rank, s, e, t_submit):
             t0 = time.monotonic()
             tb = time.perf_counter()
-            return fn(u, s, e), t0 - t_submit, time.perf_counter() - tb
+            if tl is None:
+                p = fn(u, s, e)
+            else:
+                # label event spans captured inside the kernel with this
+                # task's rank, then record the task span itself
+                with tl.worker(rank, disp):
+                    p = fn(u, s, e)
+            t1 = time.perf_counter()
+            if tl is not None:
+                tl.record_task(method, rank, disp, tb, t1)
+            return p, t0 - t_submit, t1 - tb
 
         futures = [
-            self._pool.submit(task, s, e, time.monotonic()) for s, e in spans
+            self._pool.submit(task, i, s, e, time.monotonic())
+            for i, (s, e) in enumerate(spans)
         ]
         partials, waits, busies = [], [], []
         for fut in futures:
@@ -461,21 +508,24 @@ class ParallelExecutor:
         offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
         self._shm_out.ensure(8 * int(offsets[-1]))
         in_name, out_name = self._shm_in.name, self._shm_out.name
+        tl = self._tl
         payloads = [
             (token, version, method, s, e, in_name, n_in, out_name,
-             int(offsets[i]), int(sizes[i]), time.monotonic())
+             int(offsets[i]), int(sizes[i]), time.monotonic(),
+             (i, self._dispatch_id, tl.origin) if tl is not None else None)
             for i, (s, e) in enumerate(spans)
         ]
         futures = [self._pool.submit(_process_task, p) for p in payloads]
-        waits, busies, stale = [], [], False
+        waits, busies, shipped, stale = [], [], [], False
         try:
             for fut in futures:
-                status, w, b = fut.result()
+                status, w, b, sp = fut.result()
                 if status == "stale":
                     stale = True
                 else:
                     waits.append(w)
                     busies.append(b)
+                    shipped.extend(sp)
         except BrokenExecutor as err:
             self._pool = None
             self._crashed = True
@@ -497,6 +547,10 @@ class ParallelExecutor:
             return self._dispatch_processes(
                 state, method, spans, u, sizes, mode, _retry=False
             )
+        if tl is not None and shipped:
+            # merge only after the whole pass succeeded: a stale pass was
+            # re-dispatched above and its spans must not double-count
+            tl.ingest(shipped)
         self._account(waits, busies, len(spans))
         partials = [
             self._shm_out.view(int(sizes[i]), int(offsets[i]))

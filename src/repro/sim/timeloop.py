@@ -173,6 +173,9 @@ class Simulation:
         _metrics.set_manifest(
             config_hash=_metrics.config_hash(self.config))
         _flight.maybe_arm_from_env()
+        from ..obs import timeline as _timeline  # lazy: avoid import cycle
+
+        _timeline.maybe_arm_from_env()
         self.energy = None
         if self.config.thermal_kappa > 0.0:
             q1m = q1_companion_mesh(mesh)
@@ -473,6 +476,11 @@ class Simulation:
                 m.gauge("health.divergence", val)
             elif val:
                 m.inc(f"health.{key}", val)
+        # lazy: timeline is a python -m CLI (no eager package import); its
+        # commit_metrics is a no-op unless armed
+        from ..obs import timeline as _timeline
+
+        _timeline.commit_metrics()
         row = m.commit_step(self.step_index)
         _flight.record_step({
             "step": self.step_index,

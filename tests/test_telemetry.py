@@ -259,17 +259,56 @@ class TestFlightRecorder:
 
 
 class TestProgressLine:
+    @pytest.fixture(autouse=True)
+    def no_live_executors(self):
+        # executors register in a WeakSet of stats sources and drop out
+        # only when collected; exception tracebacks from earlier tests
+        # can pin one in a reference cycle until a gc pass runs, which
+        # would make the workers column appear in these renders
+        import gc
+
+        gc.collect()
+
     def test_renders_step_dt_and_residual_gauge(self):
         obs.enable()
         metrics.gauge("snes_last_fnorm", 3.2e-7)
-        out = StringIO()
+        out = StringIO()  # StringIO.isatty() is False: the non-TTY path
         line = obs.ProgressLine(stream=out)
         text = line.update(4, 0.25, 1e-3)
         assert "step 4" in text and "dt 1.00e-03" in text
         assert "|F| 3.20e-07" in text and "steps/s" in text
-        assert out.getvalue().startswith("\r")
+        assert "\r" not in out.getvalue()
+        assert out.getvalue().endswith("\n")
+        line.close()
+
+    def test_tty_stream_gets_carriage_return_rewrites(self):
+        class FakeTty(StringIO):
+            def isatty(self):
+                return True
+
+        out = FakeTty()
+        line = obs.ProgressLine(stream=out)
+        line.update(1, 0.0, 1e-3)
+        line.update(2, 0.1, 1e-3)
+        assert out.getvalue().count("\r") == 2
+        assert "\n" not in out.getvalue()
         line.close()
         assert out.getvalue().endswith("\n")
+
+    def test_non_tty_stream_writes_interval_lines(self):
+        out = StringIO()
+        line = obs.ProgressLine(stream=out, interval=5)
+        for step in range(1, 13):
+            line.update(step, 0.1 * step, 1e-3)
+        line.close()
+        text = out.getvalue()
+        assert "\r" not in text
+        lines = [l for l in text.splitlines() if l]
+        # first update plus every 5th (counts 5 and 10)
+        assert len(lines) == 3
+        assert "step 1" in lines[0]
+        assert "step 5" in lines[1] and "step 10" in lines[2]
+        assert not text.endswith("\n\n")  # close() adds nothing off-TTY
 
     def test_explicit_residual_and_no_worker_column(self):
         line = obs.ProgressLine(stream=StringIO())

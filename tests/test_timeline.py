@@ -1,0 +1,568 @@
+"""Timeline tracing: span capture, per-worker merge, Chrome trace export,
+critical-path/utilization/imbalance analysis, report/compare surfacing."""
+
+import gc
+import json
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig, obs
+from repro.obs import compare as obs_compare
+from repro.obs import metrics
+from repro.obs import timeline as tl
+from repro.parallel.executor import ParallelExecutor
+from repro.stokes.solve import StokesConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_obs(monkeypatch):
+    monkeypatch.delenv("REPRO_TIMELINE", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_PARALLEL_BACKEND", raising=False)
+    obs.disable()
+    obs.reset()
+    tl.disarm()
+    yield
+    obs.disable()
+    obs.reset()
+    tl.disarm()
+    # executors register in a WeakSet of live stats sources; collect any
+    # cyclic sim graphs now so later tests see no phantom live executor
+    gc.collect()
+
+
+def span(name="E", cat="event", stage="", t0=0.0, t1=1.0, rank=-1,
+         pid=1, tid=1, flops=0, nbytes=0, dispatch=-1):
+    return {"name": name, "cat": cat, "stage": stage, "t0": t0, "t1": t1,
+            "rank": rank, "pid": pid, "tid": tid, "flops": flops,
+            "bytes": nbytes, "dispatch": dispatch}
+
+
+# --------------------------------------------------------------------- #
+# ring buffer + arming semantics
+# --------------------------------------------------------------------- #
+class TestRingBuffer:
+    def test_capacity_bounds_each_rank(self):
+        t = tl.Timeline(capacity=4)
+        for i in range(6):
+            t._push(0, ("e", "event", "", float(i), float(i) + 0.5,
+                        0, 1, 1, 0, 0, -1))
+        assert len(t.buffers[0]) == 4
+        assert t.dropped[0] == 2
+        assert t.recorded == 6
+        # oldest spans evicted: the survivors are the last four
+        assert [s[3] for s in t.buffers[0]] == [2.0, 3.0, 4.0, 5.0]
+
+    def test_rings_are_per_rank(self):
+        t = tl.Timeline(capacity=2)
+        for rank in (0, 1):
+            for i in range(3):
+                t._push(rank, ("e", "task", "", float(i), float(i) + 1,
+                               rank, 1, 1, 0, 0, 0))
+        assert len(t.buffers[0]) == 2 and len(t.buffers[1]) == 2
+        assert t.dropped == {0: 1, 1: 1}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            tl.Timeline(capacity=0)
+
+    def test_clear_resets_but_stays_armed(self):
+        t = tl.arm(capacity=8)
+        t._push(0, ("e", "event", "", 0.0, 1.0, 0, 1, 1, 0, 0, -1))
+        t.note_dispatch([1.0, 2.0])
+        obs.reset()  # the registry reset hook clears the armed timeline
+        assert tl.armed() is t
+        assert t.recorded == 0 and t.buffers == {} and t.dispatches == 0
+
+    def test_env_arming(self, monkeypatch):
+        assert tl.maybe_arm_from_env() is None
+        monkeypatch.setenv("REPRO_TIMELINE", "0")
+        assert tl.maybe_arm_from_env() is None
+        monkeypatch.setenv("REPRO_TIMELINE", "false")
+        assert tl.maybe_arm_from_env() is None
+        monkeypatch.setenv("REPRO_TIMELINE", "1")
+        t = tl.maybe_arm_from_env()
+        assert t is not None
+        assert t.capacity == tl.DEFAULT_CAPACITY  # "1" is on, not capacity 1
+        tl.disarm()
+        monkeypatch.setenv("REPRO_TIMELINE", "512")
+        assert tl.maybe_arm_from_env().capacity == 512
+        # idempotent while armed: the same timeline comes back
+        assert tl.maybe_arm_from_env() is tl.armed()
+
+
+# --------------------------------------------------------------------- #
+# registry sink: timed/stage context managers emit spans while armed
+# --------------------------------------------------------------------- #
+class TestSpanCapture:
+    def test_event_and_stage_spans(self):
+        t = tl.arm()
+        obs.enable()
+        with obs.stage("TimeStep"):
+            with obs.timed("MatMult", flops=100, nbytes=800):
+                pass
+        spans = t.spans()
+        names = {(s["name"], s["cat"]) for s in spans}
+        assert names == {("MatMult", "event"), ("TimeStep", "stage")}
+        ev = next(s for s in spans if s["cat"] == "event")
+        st = next(s for s in spans if s["cat"] == "stage")
+        assert ev["stage"] == "TimeStep" and st["stage"] == "TimeStep"
+        assert ev["flops"] == 100 and ev["bytes"] == 800
+        assert ev["rank"] == tl.MAIN_RANK
+        # the event nests inside its stage on the time axis
+        assert st["t0"] <= ev["t0"] <= ev["t1"] <= st["t1"]
+
+    def test_disarmed_captures_nothing(self):
+        obs.enable()
+        with obs.timed("MatMult"):
+            pass
+        assert tl.armed() is None
+        t = tl.arm()
+        assert t.recorded == 0
+
+    def test_profiling_disabled_captures_nothing(self):
+        t = tl.arm()
+        with obs.timed("MatMult"):  # no-op: obs disabled
+            pass
+        assert t.recorded == 0
+
+    def test_worker_scope_labels_rank(self):
+        t = tl.arm()
+        obs.enable()
+        with t.worker(3, 7):
+            with obs.timed("Kernel"):
+                pass
+        (s,) = t.spans()
+        assert s["rank"] == 3 and s["dispatch"] == 7
+        # scope restored: subsequent spans are main-rank again
+        with obs.timed("After"):
+            pass
+        after = next(x for x in t.spans() if x["name"] == "After")
+        assert after["rank"] == tl.MAIN_RANK
+
+
+# --------------------------------------------------------------------- #
+# export document + chrome trace + validation + CLI
+# --------------------------------------------------------------------- #
+class TestExport:
+    def _armed_run(self):
+        t = tl.arm()
+        obs.enable()
+        with obs.stage("TimeStep"):
+            with obs.timed("MatMult", flops=10):
+                pass
+        return t
+
+    def test_export_section_validates(self):
+        t = self._armed_run()
+        sec = t.export()
+        assert tl.validate_timeline(sec) is sec
+        assert sec["schema"] == tl.TIMELINE_SCHEMA
+        assert sec["recorded"] == 2 and sec["dropped"] == 0
+        assert [s["t0"] for s in sec["spans"]] == sorted(
+            s["t0"] for s in sec["spans"])
+
+    def test_snapshot_carries_section_only_while_armed(self):
+        self._armed_run()
+        doc = obs.validate(obs.snapshot())
+        assert doc["timeline"]["spans"]
+        tl.disarm()
+        assert "timeline" not in obs.snapshot()
+
+    def test_validate_rejects_bad_sections(self):
+        sec = self._armed_run().export()
+        bad = dict(sec, schema="repro.obs.timeline/999")
+        with pytest.raises(ValueError, match="schema"):
+            tl.validate_timeline(bad)
+        bad = dict(sec, spans=[span(t0=2.0, t1=1.0)])
+        with pytest.raises(ValueError, match="t1 < t0"):
+            tl.validate_timeline(bad)
+        bad = dict(sec, spans=[{"name": "x"}])
+        with pytest.raises(ValueError, match="missing field"):
+            tl.validate_timeline(bad)
+        bad = dict(sec)
+        del bad["analysis"]
+        with pytest.raises(ValueError, match="analysis"):
+            tl.validate_timeline(bad)
+
+    def test_chrome_trace_structure(self):
+        spans = [
+            span("Main", "stage", "S", 0.0, 10.0, rank=-1, tid=11),
+            span("ParExecTask:apply", "task", "", 2.0, 6.0, rank=0,
+                 tid=22, dispatch=0),
+            span("ParExecTask:apply", "task", "", 2.0, 4.0, rank=1,
+                 tid=33, dispatch=0),
+            span("Kernel", "event", "S", 2.5, 3.0, rank=1, tid=33,
+                 flops=50, dispatch=0),
+        ]
+        sec = {"schema": tl.TIMELINE_SCHEMA, "clock": "perf_counter",
+               "capacity": 16, "recorded": 4, "dropped": 0,
+               "spans": spans, "analysis": tl.analyze(spans)}
+        doc = tl.validate_chrome_trace(tl.chrome_trace(sec))
+        evs = doc["traceEvents"]
+        meta = [e for e in evs if e["ph"] == "M"]
+        xs = [e for e in evs if e["ph"] == "X"]
+        # one process_name per rank, ranks mapped to distinct pids
+        assert {m["args"]["name"] for m in meta} == {
+            "main", "worker 0", "worker 1"}
+        assert {e["pid"] for e in xs} == {0, 1, 2}
+        for e in xs:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+        kernel = next(e for e in xs if e["name"] == "Kernel")
+        assert kernel["args"]["flops"] == 50
+        assert kernel["args"]["dispatch"] == 0
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_validate_chrome_trace_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            tl.validate_chrome_trace({"events": []})
+        with pytest.raises(ValueError):
+            tl.validate_chrome_trace(
+                {"traceEvents": [{"ph": "Q", "name": "x", "pid": 0,
+                                  "tid": 0}]})
+        with pytest.raises(ValueError):
+            tl.validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "x", "pid": 0,
+                                  "tid": 0, "ts": -1, "dur": 0}]})
+
+    def test_write_chrome_trace_requires_armed_or_section(self, tmp_path):
+        with pytest.raises(RuntimeError, match="not armed"):
+            tl.write_chrome_trace(tmp_path / "t.json")
+        self._armed_run()
+        out = tmp_path / "t.json"
+        doc = tl.write_chrome_trace(out)
+        with open(out) as fh:
+            assert json.load(fh) == doc
+
+    def test_cli_roundtrip(self, tmp_path, capsys):
+        self._armed_run()
+        run = tmp_path / "run.json"
+        obs.write_json(run)
+        trace = tmp_path / "trace.json"
+        assert tl.main([str(run), "--out", str(trace)]) == 0
+        text = capsys.readouterr().out
+        assert "serial fraction" in text and "perfetto" in text.lower()
+        with open(trace) as fh:
+            tl.validate_chrome_trace(json.load(fh))
+        # a bare timeline section is accepted too
+        bare = tmp_path / "bare.json"
+        with open(run) as fh:
+            bare.write_text(json.dumps(json.load(fh)["timeline"]))
+        assert tl.main([str(bare)]) == 0
+
+    def test_cli_errors(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert tl.main([str(missing)]) == 2
+        no_section = tmp_path / "plain.json"
+        obs.enable()
+        obs.write_json(no_section)
+        assert tl.main([str(no_section)]) == 2
+        assert "no timeline section" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# analysis math on a hand-built timeline
+# --------------------------------------------------------------------- #
+class TestAnalysis:
+    def hand_built(self):
+        return [
+            span("TimeStep", "stage", "TimeStep", 0.0, 10.0, rank=-1),
+            span("ParExecTask:a", "task", "", 2.0, 6.0, rank=0, dispatch=0),
+            span("ParExecTask:a", "task", "", 2.0, 4.0, rank=1, dispatch=0),
+            span("ParExecTask:a", "task", "", 7.0, 8.0, rank=0, dispatch=1),
+            span("ParExecTask:a", "task", "", 7.0, 9.5, rank=1, dispatch=1),
+        ]
+
+    def test_critical_path_and_utilization(self):
+        an = tl.analyze(self.hand_built())
+        assert an["wall_seconds"] == pytest.approx(10.0)
+        cp = an["critical_path"]
+        # workers active over [2,6] u [7,9.5] = 6.5 s parallel
+        assert cp["parallel_seconds"] == pytest.approx(6.5)
+        assert cp["serial_seconds"] == pytest.approx(3.5)
+        assert cp["serial_fraction"] == pytest.approx(0.35)
+        workers = {w["rank"]: w for w in an["workers"]}
+        assert workers[0]["busy_seconds"] == pytest.approx(5.0)
+        assert workers[0]["utilization"] == pytest.approx(0.5)
+        assert workers[1]["busy_seconds"] == pytest.approx(4.5)
+        assert workers[-1]["busy_seconds"] == pytest.approx(10.0)
+
+    def test_dispatch_imbalance_and_stragglers(self):
+        disp = tl.analyze(self.hand_built())["dispatches"]
+        assert disp["count"] == 2
+        # d0: durs (4,2) -> 4/3; d1: durs (1,2.5) -> 2.5/1.75
+        assert disp["mean_imbalance"] == pytest.approx(
+            (4 / 3 + 2.5 / 1.75) / 2)
+        assert disp["max_imbalance"] == pytest.approx(2.5 / 1.75)
+        assert disp["stragglers"] == {"0": 1, "1": 1}
+
+    def test_per_step_split(self):
+        (step,) = tl.analyze(self.hand_built())["steps"]
+        assert step["seconds"] == pytest.approx(10.0)
+        assert step["parallel_seconds"] == pytest.approx(6.5)
+        assert step["serial_fraction"] == pytest.approx(0.35)
+
+    def test_overlapping_spans_do_not_double_count(self):
+        spans = [
+            span("A", "event", "", 0.0, 4.0, rank=0),
+            span("B", "event", "", 2.0, 6.0, rank=0),  # overlaps A
+        ]
+        an = tl.analyze(spans)
+        (w,) = an["workers"]
+        assert w["busy_seconds"] == pytest.approx(6.0)  # union, not sum
+        assert an["critical_path"]["parallel_seconds"] == pytest.approx(6.0)
+
+    def test_empty_timeline(self):
+        an = tl.analyze([])
+        assert an["wall_seconds"] == 0.0
+        assert an["critical_path"]["serial_fraction"] == 1.0
+        assert an["workers"] == [] and an["steps"] == []
+
+    def test_note_dispatch_accumulators(self):
+        t = tl.Timeline()
+        t.note_dispatch([1.0, 3.0])        # max/mean = 3/2: imb 1.5
+        t.note_dispatch([2.0, 2.0])        # imb 1.0
+        t.note_dispatch([])                # counted, no stats
+        assert t.dispatches == 3
+        assert t.imbalance_max == pytest.approx(1.5)
+        assert t.imbalance_last == pytest.approx(1.0)
+        assert t.mean_imbalance == pytest.approx(2.5 / 3)
+        assert t.stragglers == {1: 1, 0: 1}
+
+
+# --------------------------------------------------------------------- #
+# executor integration: merged per-worker spans, both backends
+# --------------------------------------------------------------------- #
+class _SumState:
+    def apply(self, u, s, e):
+        out = np.zeros(4)
+        out[:] = u[s:e].sum()
+        return out
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+class TestExecutorSpans:
+    def test_task_spans_carry_distinct_ranks(self, backend):
+        t = tl.arm()
+        obs.enable()
+        ex = ParallelExecutor(workers=2, backend=backend)
+        u = np.arange(8, dtype=float)
+        spans = [(0, 4), (4, 8)]
+        try:
+            r = ex.dispatch(_SumState(), "apply", spans, u, out_len=4)
+            assert np.array_equal(
+                r, ex.run_serial(_SumState(), "apply", spans, u,
+                                 [4, 4], "sum"))
+        finally:
+            ex.shutdown()
+        sec = tl.validate_timeline(t.export())
+        tasks = [s for s in sec["spans"] if s["cat"] == "task"]
+        assert sorted(s["rank"] for s in tasks) == [0, 1]
+        assert all(s["name"] == "ParExecTask:apply" for s in tasks)
+        assert all(s["dispatch"] == 0 for s in tasks)
+        assert t.dispatches == 1 and t.imbalance_last > 0
+        assert set(t.task_busy) == {0, 1}
+        doc = tl.validate_chrome_trace(tl.chrome_trace(sec))
+        pids = {e["pid"] for e in doc["traceEvents"] if e.get("cat") == "task"}
+        assert pids == {1, 2}  # distinct worker ranks -> distinct tracks
+
+    def test_env_workers_two(self, backend, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", backend)
+        t = tl.arm()
+        obs.enable()
+        ex = ParallelExecutor()
+        assert ex.workers == 2 and ex.backend == backend
+        try:
+            ex.dispatch(_SumState(), "apply", [(0, 4), (4, 8)],
+                        np.arange(8, dtype=float), out_len=4)
+        finally:
+            ex.shutdown()
+        ranks = {s["rank"] for s in t.spans() if s["cat"] == "task"}
+        assert ranks == {0, 1}
+
+    def test_disarmed_dispatch_unchanged(self, backend):
+        obs.enable()
+        ex = ParallelExecutor(workers=2, backend=backend)
+        u = np.arange(8, dtype=float)
+        try:
+            r = ex.dispatch(_SumState(), "apply", [(0, 4), (4, 8)], u,
+                            out_len=4)
+        finally:
+            ex.shutdown()
+        assert np.array_equal(
+            r, ex.run_serial(_SumState(), "apply", [(0, 4), (4, 8)], u,
+                             [4, 4], "sum"))
+        assert tl.armed() is None
+
+
+class TestProcessSpanSpool:
+    def test_remote_task_capture_rebases_to_master_origin(self):
+        t = tl.arm()
+        obs.enable()
+        result, spans = tl.remote_task_capture(
+            lambda: 42, "apply", 1, 3, t.origin)
+        assert result == 42
+        task = spans[-1]
+        assert task[0] == "ParExecTask:apply" and task[1] == "task"
+        assert task[5] == 1 and task[10] == 3
+        assert 0 <= task[3] <= task[4]
+        t.ingest(spans)
+        assert t.task_busy[1] == pytest.approx(task[4] - task[3])
+        (merged,) = [s for s in t.spans() if s["cat"] == "task"]
+        assert merged["rank"] == 1
+
+    def test_capture_without_armed_timeline_still_ships_task_span(self):
+        result, spans = tl.remote_task_capture(
+            lambda: "ok", "apply", 0, 0, 0.0)
+        assert result == "ok"
+        assert len(spans) == 1 and spans[0][1] == "task"
+
+
+# --------------------------------------------------------------------- #
+# simulation-level: bit-identical results + merged timeline, 2 workers
+# --------------------------------------------------------------------- #
+def _run_sinker(backend, arm_timeline=False):
+    from repro.sim.sinker import SinkerConfig, make_sinker
+
+    obs.reset()
+    obs.enable()
+    if arm_timeline:
+        tl.arm()
+    sim = make_sinker(
+        SinkerConfig(shape=(4, 4, 4)),
+        SimulationConfig(
+            stokes=StokesConfig(mg_levels=2, coarse_solver="lu",
+                                workers=2, parallel_backend=backend),
+        ),
+    )
+    sim.run(2)
+    doc = obs.validate(obs.snapshot())
+    u, p = sim.u.copy(), sim.p.copy()
+    tl.disarm()
+    obs.disable()
+    return u, p, doc
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_sinker_two_workers_bit_identical_with_timeline(backend):
+    # the serial reference runs the identical two-slab task structure
+    # inline (the executor determinism contract), so equality is bitwise
+    u1, p1, _ = _run_sinker(backend="serial")
+    u2, p2, doc = _run_sinker(backend=backend, arm_timeline=True)
+    assert np.array_equal(u1, u2)
+    assert np.array_equal(p1, p2)
+    sec = doc["timeline"]
+    tl.validate_timeline(sec)
+    task_ranks = {s["rank"] for s in sec["spans"] if s["cat"] == "task"}
+    assert task_ranks == {0, 1}, "spans must carry distinct worker ranks"
+    an = sec["analysis"]
+    assert an["dispatches"]["count"] > 0
+    assert an["dispatches"]["max_imbalance"] >= 1.0
+    assert {w["rank"] for w in an["workers"]} >= {0, 1}
+    assert an["critical_path"]["parallel_seconds"] > 0
+    assert an["steps"], "TimeStep stage spans must be analyzed per step"
+    doc2 = tl.validate_chrome_trace(tl.chrome_trace(sec))
+    pids = {e["pid"] for e in doc2["traceEvents"] if e.get("cat") == "task"}
+    assert pids == {1, 2}
+
+
+# --------------------------------------------------------------------- #
+# metrics gauges + report tail + compare gate
+# --------------------------------------------------------------------- #
+class TestSurfacing:
+    def test_commit_metrics_gauges(self):
+        t = tl.arm()
+        obs.enable()
+        with obs.timed("E"):
+            pass
+        t.record_task("apply", 0, 0, t.origin, t.origin + 0.5)
+        t.note_dispatch([0.5, 0.1])
+        tl.commit_metrics()
+        row = metrics.commit_step(0)
+        assert row["timeline.spans"] == 2.0
+        assert row["timeline.dispatches"] == 1.0
+        assert row["timeline.imbalance_max"] == pytest.approx(0.5 / 0.3)
+        assert "timeline.worker_utilization_min" in row
+        assert "timeline.worker_utilization_mean" in row
+
+    def test_commit_metrics_noop_disarmed(self):
+        obs.enable()
+        tl.commit_metrics()
+        assert metrics.commit_step(0) == {}
+
+    def test_report_tail_lists_workers(self):
+        t = tl.arm()
+        obs.enable()
+        with obs.timed("E"):
+            pass
+        t.record_task("apply", 0, 0, t.origin, t.origin + 0.4)
+        t.record_task("apply", 1, 0, t.origin, t.origin + 0.2)
+        t.note_dispatch([0.4, 0.2])
+        text = obs.log_view(stream=False)
+        assert "timeline:" in text
+        assert "imbalance max" in text
+        assert "worker  0" in text and "worker  1" in text
+        assert "straggler in 1 dispatch(es)" in text
+
+    def test_report_has_no_tail_when_disarmed(self):
+        obs.enable()
+        with obs.timed("E"):
+            pass
+        assert "timeline:" not in obs.log_view(stream=False)
+
+    def _doc_with_imbalance(self, imb):
+        spans = [
+            span("ParExecTask:a", "task", "", 0.0, imb, rank=0, dispatch=0),
+            span("ParExecTask:a", "task", "", 0.0, 2.0 - imb, rank=1,
+                 dispatch=0),
+        ]
+        obs.enable()
+        doc = obs.snapshot()
+        doc["timeline"] = {
+            "schema": tl.TIMELINE_SCHEMA, "clock": "perf_counter",
+            "capacity": 16, "recorded": 2, "dropped": 0, "spans": spans,
+            "analysis": tl.analyze(spans),
+        }
+        return obs.validate(doc)
+
+    def test_compare_reports_imbalance_informational(self):
+        base = self._doc_with_imbalance(1.0)   # balanced: imb 1.0
+        cand = self._doc_with_imbalance(1.8)   # imb 1.8/1.0
+        res = obs_compare.compare(base, cand)
+        (f,) = [x for x in res.findings
+                if x.name == "dispatch_imbalance_max"]
+        assert f.kind == "timeline" and not f.regression
+        assert f.candidate == pytest.approx(1.8)
+        utils = [x for x in res.findings if "utilization" in x.name]
+        assert {x.name for x in utils} == {"worker0_utilization",
+                                           "worker1_utilization"}
+        assert res.passed
+
+    def test_compare_max_imbalance_gate(self):
+        base = self._doc_with_imbalance(1.0)
+        cand = self._doc_with_imbalance(1.8)
+        res = obs_compare.compare(base, cand, max_imbalance=1.5)
+        (f,) = res.regressions
+        assert f.name == "dispatch_imbalance_max"
+        assert "max-imbalance" in f.note
+        ok = obs_compare.compare(base, cand, max_imbalance=2.5)
+        assert ok.passed
+        # rendered output shows the timeline rows without --verbose
+        text = obs_compare.render(res)
+        assert "dispatch_imbalance_max" in text and "REGRESSION" in text
+
+    def test_compare_cli_flag(self, tmp_path):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        with open(base, "w") as fh:
+            json.dump(self._doc_with_imbalance(1.0), fh)
+        obs.reset()
+        with open(cand, "w") as fh:
+            json.dump(self._doc_with_imbalance(1.8), fh)
+        assert obs_compare.main(
+            [str(base), str(cand), "--max-imbalance", "1.5"]) == 1
+        assert obs_compare.main(
+            [str(base), str(cand), "--max-imbalance", "2.5"]) == 0
+        assert obs_compare.main([str(base), str(cand)]) == 0
