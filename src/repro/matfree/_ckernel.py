@@ -1,0 +1,267 @@
+"""Build/load machinery for the compiled blocked tensor kernel.
+
+The container bakes in NumPy but no Numba/Cython, so the compiled backend
+is a small C translation unit compiled *at first use* with whatever system
+compiler is available (``cc``/``gcc``/``clang``) and loaded through
+:mod:`ctypes`.  Everything is guarded: if no toolchain exists, compilation
+fails, or ``$REPRO_NO_CKERNEL`` is set, :func:`load` returns ``None`` and
+:class:`~repro.matfree.tensor_compiled.TensorCompiledOperator` falls back
+to the pure-NumPy packed-coefficient path -- the suite passes either way.
+
+Shared objects are cached under ``$REPRO_CKERNEL_CACHE`` (default
+``~/.cache/repro``) keyed by a hash of the source and compile flags, so the
+compile cost (~1 s) is paid once per machine, not per process.
+
+Kernel contract (mirrors the executor's determinism contract)
+-------------------------------------------------------------
+``tc_apply(cpk, conn, dk, u, y, s, e, block)`` accumulates the viscous
+contributions of elements ``[s, e)`` into the caller's ``y`` **in strictly
+increasing element order**.  The ``block`` parameter tiles the element loop
+for L2 residency but never reorders it, so results are bit-identical for
+every block size -- and the per-span partials the executor reduces in task
+order are the same floats the serial loop produces.  All per-element
+scratch (gathered velocities, reference gradients, reference fluxes) lives
+on the C stack: no ``C``/``g``/``t`` chunk temporaries are ever allocated.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+__all__ = ["available", "load", "unavailable_reason", "KERNEL_SOURCE"]
+
+#: environment kill-switch: force the pure-NumPy fallback (CI fallback leg)
+ENV_DISABLE = "REPRO_NO_CKERNEL"
+#: override the shared-object cache directory
+ENV_CACHE = "REPRO_CKERNEL_CACHE"
+
+_CFLAGS = ["-O3", "-fPIC", "-shared", "-std=c11", "-fno-math-errno"]
+_COMPILERS = ("cc", "gcc", "clang")
+
+KERNEL_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+/* Blocked, in-order apply of the packed-coefficient Q2 viscous operator.
+ *
+ * cpk  : (nel, 27, 16) packed per-quadrature-point coefficients
+ *        [S00,S01,S02,S11,S12,S22, K row-major (9), w*det*eta]
+ *        with S = w*eta * K K^T (K = inverse Jacobian).
+ * conn : (nel, 27) element-to-node map (int64).
+ * dk   : (3, 27, 27) Kronecker reference-gradient factors (constant).
+ * u    : (nnodes*3,) interleaved input velocities.
+ * y    : (nnodes*3,) output accumulator (caller zeroes the span partial).
+ * s, e : element half-open range.
+ * block: loop tile size in elements (<=0 means untiled); tiling preserves
+ *        element order, so the result is independent of the tile size.
+ */
+void tc_apply(const double *restrict cpk,
+              const int64_t *restrict conn,
+              const double *restrict dk,
+              const double *restrict u,
+              double *restrict y,
+              int64_t s, int64_t e, int64_t block)
+{
+    if (block < 1) block = e - s;
+    for (int64_t b0 = s; b0 < e; b0 += block) {
+        int64_t b1 = (b0 + block < e) ? b0 + block : e;
+        for (int64_t el = b0; el < b1; ++el) {
+            const int64_t *cn = conn + 27 * el;
+            const double *cq = cpk + 27 * 16 * el;
+            double ue[27][3];
+            for (int a = 0; a < 27; ++a) {
+                const double *un = u + 3 * cn[a];
+                ue[a][0] = un[0];
+                ue[a][1] = un[1];
+                ue[a][2] = un[2];
+            }
+            /* reference gradient g[q][c][d] = sum_a dk[d][q][a] ue[a][c] */
+            double g[27][3][3];
+            for (int d = 0; d < 3; ++d) {
+                const double *dkd = dk + 27 * 27 * d;
+                for (int q = 0; q < 27; ++q) {
+                    const double *row = dkd + 27 * q;
+                    double g0 = 0.0, g1 = 0.0, g2 = 0.0;
+                    for (int a = 0; a < 27; ++a) {
+                        const double w = row[a];
+                        g0 += w * ue[a][0];
+                        g1 += w * ue[a][1];
+                        g2 += w * ue[a][2];
+                    }
+                    g[q][0][d] = g0;
+                    g[q][1][d] = g1;
+                    g[q][2][d] = g2;
+                }
+            }
+            /* reference flux t[q][c][d] = (g S)_cd + w ((K g K))_dc */
+            double t[27][3][3];
+            for (int q = 0; q < 27; ++q) {
+                const double *p = cq + 16 * q;
+                const double S00 = p[0], S01 = p[1], S02 = p[2];
+                const double S11 = p[3], S12 = p[4], S22 = p[5];
+                const double *K = p + 6;
+                const double w = p[15];
+                /* gk[c][f] = (g K)_cf */
+                double gk[3][3];
+                for (int c = 0; c < 3; ++c) {
+                    const double gc0 = g[q][c][0], gc1 = g[q][c][1],
+                                 gc2 = g[q][c][2];
+                    gk[c][0] = gc0 * K[0] + gc1 * K[3] + gc2 * K[6];
+                    gk[c][1] = gc0 * K[1] + gc1 * K[4] + gc2 * K[7];
+                    gk[c][2] = gc0 * K[2] + gc1 * K[5] + gc2 * K[8];
+                }
+                for (int c = 0; c < 3; ++c) {
+                    const double gc0 = g[q][c][0], gc1 = g[q][c][1],
+                                 gc2 = g[q][c][2];
+                    /* (g S)_cd with S symmetric */
+                    const double gs0 = gc0 * S00 + gc1 * S01 + gc2 * S02;
+                    const double gs1 = gc0 * S01 + gc1 * S11 + gc2 * S12;
+                    const double gs2 = gc0 * S02 + gc1 * S12 + gc2 * S22;
+                    /* (K g K)_dc = sum_e K_de (g K)_ec */
+                    const double kg0 =
+                        K[0] * gk[0][c] + K[1] * gk[1][c] + K[2] * gk[2][c];
+                    const double kg1 =
+                        K[3] * gk[0][c] + K[4] * gk[1][c] + K[5] * gk[2][c];
+                    const double kg2 =
+                        K[6] * gk[0][c] + K[7] * gk[1][c] + K[8] * gk[2][c];
+                    t[q][c][0] = gs0 + w * kg0;
+                    t[q][c][1] = gs1 + w * kg1;
+                    t[q][c][2] = gs2 + w * kg2;
+                }
+            }
+            /* adjoint gradient ye[a][c] = sum_d sum_q dk[d][q][a] t[q][c][d],
+             * then ordered scatter into the global accumulator */
+            double ye[27][3];
+            memset(ye, 0, sizeof ye);
+            for (int d = 0; d < 3; ++d) {
+                const double *dkd = dk + 27 * 27 * d;
+                for (int q = 0; q < 27; ++q) {
+                    const double *row = dkd + 27 * q;
+                    const double t0 = t[q][0][d];
+                    const double t1 = t[q][1][d];
+                    const double t2 = t[q][2][d];
+                    for (int a = 0; a < 27; ++a) {
+                        const double w = row[a];
+                        ye[a][0] += w * t0;
+                        ye[a][1] += w * t1;
+                        ye[a][2] += w * t2;
+                    }
+                }
+            }
+            for (int a = 0; a < 27; ++a) {
+                double *yn = y + 3 * cn[a];
+                yn[0] += ye[a][0];
+                yn[1] += ye[a][1];
+                yn[2] += ye[a][2];
+            }
+        }
+    }
+}
+"""
+
+_lib = None
+_load_attempted = False
+_reason: str | None = None
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get(ENV_CACHE)
+    if env:
+        return Path(env)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro"
+
+
+def _source_key() -> str:
+    payload = KERNEL_SOURCE + "\0" + " ".join(_CFLAGS)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _compile(so_path: Path) -> str | None:
+    """Compile the kernel into ``so_path``; return a failure reason or None."""
+    so_path.parent.mkdir(parents=True, exist_ok=True)
+    last = "no C compiler found (tried: %s)" % ", ".join(_COMPILERS)
+    with tempfile.TemporaryDirectory(prefix="repro-ckernel-") as tmp:
+        c_path = Path(tmp) / "tensor_kernel.c"
+        c_path.write_text(KERNEL_SOURCE)
+        tmp_so = Path(tmp) / "tensor_kernel.so"
+        for cc in _COMPILERS:
+            cmd = [cc, *_CFLAGS, str(c_path), "-o", str(tmp_so)]
+            try:
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True, timeout=120
+                )
+            except (OSError, subprocess.TimeoutExpired) as err:
+                last = f"{cc}: {err}"
+                continue
+            if proc.returncode == 0:
+                # atomic publish so concurrent processes race benignly
+                os.replace(tmp_so, so_path)
+                return None
+            last = f"{cc} exited {proc.returncode}: {proc.stderr.strip()[:400]}"
+    return last
+
+
+def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
+    lib.tc_apply.restype = None
+    lib.tc_apply.argtypes = [
+        ctypes.c_void_p,  # cpk
+        ctypes.c_void_p,  # conn
+        ctypes.c_void_p,  # dk
+        ctypes.c_void_p,  # u
+        ctypes.c_void_p,  # y
+        ctypes.c_int64,   # s
+        ctypes.c_int64,   # e
+        ctypes.c_int64,   # block
+    ]
+    return lib
+
+
+def load() -> ctypes.CDLL | None:
+    """The compiled kernel library, or ``None`` with a recorded reason."""
+    global _lib, _load_attempted, _reason
+    if _lib is not None:
+        return _lib
+    if _load_attempted:
+        return None
+    _load_attempted = True
+    if os.environ.get(ENV_DISABLE):
+        _reason = f"disabled via ${ENV_DISABLE}"
+        return None
+    so_path = _cache_dir() / f"tensor_kernel-{_source_key()}.so"
+    try:
+        if not so_path.exists():
+            reason = _compile(so_path)
+            if reason is not None:
+                _reason = f"compile failed: {reason}"
+                return None
+        _lib = _bind(ctypes.CDLL(str(so_path)))
+    except OSError as err:
+        _reason = f"load failed: {err}"
+        _lib = None
+        return None
+    _reason = None
+    return _lib
+
+
+def available() -> bool:
+    """True when the compiled kernel can be (or has been) loaded."""
+    return load() is not None
+
+
+def unavailable_reason() -> str | None:
+    """Why the compiled kernel is unavailable (None when it is available)."""
+    load()
+    return _reason
+
+
+def _reset_for_tests() -> None:
+    """Forget the cached load state (used by the fallback-path tests)."""
+    global _lib, _load_attempted, _reason
+    _lib = None
+    _load_attempted = False
+    _reason = None

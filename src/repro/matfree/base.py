@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from ..fem.quadrature import GaussQuadrature
@@ -27,6 +29,22 @@ class ViscousOperatorBase:
     ``eta_q`` is the effective viscosity at the quadrature points, shape
     ``(nel, nq)`` -- in the full pipeline this is the MPM-projected field
     (SS II-C).
+
+    State-version contract
+    ----------------------
+    Derived state (cached coefficient tensors, the process-pool fork
+    snapshots) depends on exactly two inputs: the mesh geometry and the
+    viscosity field.  Each carries its own monotonically increasing
+    version -- ``mesh.coords_version`` (bumped by ``mesh.deform``) and
+    :attr:`eta_version` (bumped by :meth:`set_viscosity`,
+    :meth:`invalidate_coefficients`, or automatically when
+    :meth:`_before_apply` detects that ``eta_q`` was mutated in place via
+    a CRC fingerprint).  The pair is published to the executor as
+    ``_parallel_state_version``; a change forces process workers to
+    re-snapshot (see the executor's state-transport notes) and tells
+    coefficient-caching subclasses to rebuild.  Keying off
+    ``coords_version`` alone -- the pre-fix behavior -- silently applied
+    stale operators after a viscosity re-linearization.
     """
 
     #: label used in benchmark tables (matches Table I rows)
@@ -38,13 +56,10 @@ class ViscousOperatorBase:
                  executor: ParallelExecutor | None = None):
         self.mesh = mesh
         self.quad = quad or GaussQuadrature.hex(3)
-        eta_q = np.asarray(eta_q, dtype=np.float64)
-        if eta_q.shape != (mesh.nel, self.quad.npoints):
-            raise ValueError(
-                f"eta_q must have shape {(mesh.nel, self.quad.npoints)}, "
-                f"got {eta_q.shape}"
-            )
-        self.eta_q = eta_q
+        self.eta_q = self._validated_eta(eta_q)
+        #: coefficient-state version; see the class docstring's contract
+        self.eta_version = 0
+        self._eta_fingerprint = self._eta_crc()
         self.chunk = int(chunk)
         self.ndof = 3 * mesh.nnodes
         #: number of operator applications performed (cost accounting)
@@ -59,8 +74,73 @@ class ViscousOperatorBase:
         nparts = self._executor.workers if self._executor is not None else 1
         #: contiguous element slabs, one per worker (the executor's tasks)
         self._spans = partition_elements(mesh, nparts)
-        #: process-backend staleness stamp (see executor state transport)
-        self._parallel_state_version = mesh.coords_version
+        #: process-backend staleness stamp (see executor state transport):
+        #: BOTH geometry and coefficient state, not just the mesh
+        self._parallel_state_version = (mesh.coords_version, self.eta_version)
+
+    # -- coefficient-state management ----------------------------------- #
+    def _validated_eta(self, eta_q) -> np.ndarray:
+        """Shape/finiteness/positivity gate on a viscosity field.
+
+        A NaN-poisoned ``eta_q`` used to flow into cached coefficient
+        tensors and only trip guards deep in the Krylov loop; fail fast
+        here instead, with the PR-3/PR-4 ``ConvergedReason`` taxonomy so
+        the fallback ladder and rollback engine can attribute it.  Zero
+        viscosity is allowed (rank-restricted operators mask elements by
+        zeroing their coefficient); negative viscosity is not.
+        """
+        eta_q = np.ascontiguousarray(eta_q, dtype=np.float64)
+        if eta_q.shape != (self.mesh.nel, self.quad.npoints):
+            raise ValueError(
+                f"eta_q must have shape {(self.mesh.nel, self.quad.npoints)}, "
+                f"got {eta_q.shape}"
+            )
+        from ..resilience.reasons import BreakdownError, ConvergedReason
+
+        nonfinite = eta_q.size - int(np.count_nonzero(np.isfinite(eta_q)))
+        if nonfinite:
+            raise BreakdownError(
+                f"eta_q carries {nonfinite} non-finite entries; refusing to "
+                "build a poisoned viscous operator (guard the projected "
+                "field, or fix the rheology evaluation)",
+                reason=ConvergedReason.DIVERGED_NAN,
+            )
+        emin = float(eta_q.min(initial=0.0))
+        if emin < 0.0:
+            raise BreakdownError(
+                f"eta_q has negative entries (min {emin:.3e}); the viscous "
+                "operator requires eta >= 0 to stay semi-definite",
+                reason=ConvergedReason.DIVERGED_BREAKDOWN,
+            )
+        return eta_q
+
+    def _eta_crc(self) -> int:
+        """CRC-32 fingerprint of the viscosity buffer (~GB/s; zlib C loop)."""
+        return zlib.crc32(self.eta_q)
+
+    def _refresh_eta_version(self) -> None:
+        """Bump :attr:`eta_version` if ``eta_q`` was mutated in place."""
+        crc = self._eta_crc()
+        if crc != self._eta_fingerprint:
+            self._eta_fingerprint = crc
+            self.eta_version += 1
+
+    def invalidate_coefficients(self) -> None:
+        """Explicitly mark the viscosity as changed.
+
+        Unconditional alternative to the CRC auto-detection in
+        :meth:`_before_apply` (which is probabilistic in principle --
+        CRC-32 collisions -- and skippable by performance-critical callers
+        that know when they mutate).  Cached coefficient tensors rebuild
+        and process workers re-snapshot on the next apply.
+        """
+        self.eta_version += 1
+        self._eta_fingerprint = self._eta_crc()
+
+    def set_viscosity(self, eta_q) -> None:
+        """Replace the viscosity field (re-linearization entry point)."""
+        self.eta_q = self._validated_eta(eta_q)
+        self.invalidate_coefficients()
 
     # -- interface ------------------------------------------------------ #
     @property
@@ -73,7 +153,10 @@ class ViscousOperatorBase:
 
     def _before_apply(self) -> None:
         """Refresh derived state before a (possibly parallel) apply."""
-        self._parallel_state_version = self.mesh.coords_version
+        self._refresh_eta_version()
+        self._parallel_state_version = (
+            self.mesh.coords_version, self.eta_version,
+        )
 
     def apply(self, u: np.ndarray) -> np.ndarray:
         self._before_apply()

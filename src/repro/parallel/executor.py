@@ -37,9 +37,13 @@ Process-backend state transport
 Worker processes are forked **after** the dispatched state object exists,
 so they inherit it by copy-on-write; only a small integer token travels
 with each task.  Registered state must therefore be immutable while the
-pool lives, or carry a ``_parallel_state_version`` stamp (the matfree
-operators use ``mesh.coords_version``): dispatching a token/version pair
-the pool has not seen triggers a respawn, i.e. a fresh snapshot.
+pool lives, or carry a ``_parallel_state_version`` stamp -- any hashable,
+``!=``-comparable value; the matfree operators publish the tuple
+``(mesh.coords_version, eta_version)`` so both mesh motion and viscosity
+re-linearization invalidate the snapshot (keying off the mesh alone let
+in-place ``eta_q`` mutations run against stale forked coefficients).
+Dispatching a token/version pair the pool has not seen triggers a
+respawn, i.e. a fresh snapshot.
 """
 
 from __future__ import annotations

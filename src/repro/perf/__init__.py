@@ -6,7 +6,7 @@ Edison-like machine model so the scalability tables (II/III) can report
 modeled at-scale numbers next to the measured sequential NumPy timings.
 """
 
-from .counts import OperatorCounts, OPERATOR_COUNTS, table1_counts
+from .counts import OperatorCounts, OPERATOR_COUNTS, PAPER_COUNTS, table1_counts
 from .machine import MACHINES, MachineModel, EDISON, LAPTOP, resolve_machine
 from .roofline import (
     apply_time_per_element,
@@ -20,6 +20,7 @@ from .roofline import (
 __all__ = [
     "OperatorCounts",
     "OPERATOR_COUNTS",
+    "PAPER_COUNTS",
     "table1_counts",
     "MachineModel",
     "MACHINES",

@@ -160,6 +160,21 @@ class ChebyshevSmoother:
 
     def smooth(self, b: np.ndarray, x: np.ndarray | None = None) -> np.ndarray:
         """Run ``degree`` Chebyshev iterations on ``A x = b`` from ``x``."""
+        return self.smooth_with_residual(b, x)[0]
+
+    def smooth_with_residual(
+        self, b: np.ndarray, x: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Smooth and return ``(x, r)`` with ``r = b - A x`` for free.
+
+        The Chebyshev recurrence maintains the residual at every iterate
+        (``r <- r - A d`` tracks ``b - A x`` exactly as ``x <- x + d``);
+        :meth:`smooth` historically discarded it, forcing the V-cycle to
+        spend a full operator apply per level recomputing it.  Fused
+        callers (see :class:`~repro.mg.cycles.MGLevel.fused_residual`)
+        take the recurrence residual instead -- mathematically the same
+        vector, differing from a fresh ``b - A(x)`` only in rounding.
+        """
         theta = 0.5 * (self.lmax + self.lmin)
         delta = 0.5 * (self.lmax - self.lmin)
         if x is None:
@@ -183,7 +198,7 @@ class ChebyshevSmoother:
                 "(poisoned operator apply or diagonal)",
                 reason=ConvergedReason.DIVERGED_NAN,
             )
-        return x
+        return x, r
 
     def __call__(self, r: np.ndarray) -> np.ndarray:
         """Preconditioner interface: approximate ``A^{-1} r`` from zero."""

@@ -75,6 +75,31 @@ class TestSmoother:
         r = np.ones(32)
         assert np.allclose(cheb(r), cheb.smooth(r, None))
 
+    @pytest.mark.parametrize("x0", [None, "random"])
+    def test_fused_residual_matches_explicit(self, x0):
+        """smooth_with_residual returns the recurrence-maintained residual:
+        equal to b - A x up to rounding, with zero extra operator applies."""
+        A = laplace_1d(32)
+        rng = np.random.default_rng(3)
+        b = rng.standard_normal(32)
+        x_init = None if x0 is None else rng.standard_normal(32)
+        applies = [0]
+
+        def counted(v):
+            applies[0] += 1
+            return A @ v
+
+        cheb = ChebyshevSmoother(counted, A.diagonal(), degree=3)
+        applies[0] = 0
+        x_plain = cheb.smooth(b, x_init)
+        plain_applies = applies[0]
+        applies[0] = 0
+        x_fused, r_fused = cheb.smooth_with_residual(b, x_init)
+        assert applies[0] == plain_applies  # the residual is free
+        assert np.array_equal(x_plain, x_fused)
+        scale = np.linalg.norm(b)
+        assert np.linalg.norm(r_fused - (b - A @ x_fused)) < 1e-12 * scale
+
     def test_nonzero_initial_guess(self):
         A = laplace_1d(32)
         rng = np.random.default_rng(2)

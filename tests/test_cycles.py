@@ -34,7 +34,7 @@ class TestHierarchyValidation:
 
 
 class TestCycleShapes:
-    def _two_level(self, gamma):
+    def _two_level(self, gamma, fused_residual=False, count_applies=None):
         """Manual 2-level hierarchy on the 1D Laplacian."""
         n = 63
         A = laplace_1d(n)
@@ -49,11 +49,18 @@ class TestCycleShapes:
         import scipy.sparse.linalg as spla
 
         lu = spla.splu(Ac.tocsc())
+
+        def apply_fine(v):
+            if count_applies is not None:
+                count_applies[0] += 1
+            return A @ v
+
         fine = MGLevel(
-            apply=lambda v: A @ v,
-            smoother=ChebyshevSmoother(lambda v: A @ v, A.diagonal(), degree=2),
+            apply=apply_fine,
+            smoother=ChebyshevSmoother(apply_fine, A.diagonal(), degree=2),
             prolong=P,
             ndof=n,
+            fused_residual=fused_residual,
         )
         coarse = MGLevel(apply=lambda v: Ac @ v, coarse_solve=lu.solve, ndof=nc)
         return A, MGHierarchy([fine, coarse], gamma=gamma)
@@ -97,6 +104,26 @@ class TestCycleShapes:
         for _ in range(3):
             x2 = mg.vcycle(b, x2)
         assert np.allclose(x1, x2)
+
+    def test_fused_residual_cycle_equivalent_and_cheaper(self):
+        """A fused-residual V-cycle contracts like the explicit one while
+        spending one fewer fine-level apply per cycle (the MGResid apply
+        is folded into the smoother recurrence)."""
+        rng = np.random.default_rng(7)
+        b = rng.standard_normal(63)
+        res, applies = {}, {}
+        for fused in (False, True):
+            counter = [0]
+            A, mg = self._two_level(
+                gamma=1, fused_residual=fused, count_applies=counter
+            )
+            counter[0] = 0
+            x = mg.vcycle(b)
+            applies[fused] = counter[0]
+            res[fused] = np.linalg.norm(b - A @ x) / np.linalg.norm(b)
+        assert applies[True] == applies[False] - 1
+        assert res[True] < 0.2
+        assert res[True] == pytest.approx(res[False], rel=1e-6)
 
 
 class TestSSOR:

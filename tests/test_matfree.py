@@ -90,6 +90,48 @@ class TestValidation:
         with pytest.raises(ValueError):
             make_operator("tensor", mesh, np.ones((mesh.nel, 27)))
 
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_nonfinite_eta_fails_fast_at_construction(self, kind):
+        """A NaN-poisoned viscosity used to flow into cached coefficients
+        and only trip guards deep in the Krylov loop (PR-4 taxonomy)."""
+        from repro.resilience.reasons import BreakdownError, ConvergedReason
+
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        eta = np.ones((mesh.nel, 27))
+        eta[3, 5] = np.nan
+        with pytest.raises(BreakdownError) as exc:
+            make_operator(kind, mesh, eta)
+        assert exc.value.reason is ConvergedReason.DIVERGED_NAN
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_negative_eta_rejected(self, kind):
+        from repro.resilience.reasons import BreakdownError, ConvergedReason
+
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        eta = np.ones((mesh.nel, 27))
+        eta[0, 0] = -1e-3
+        with pytest.raises(BreakdownError) as exc:
+            make_operator(kind, mesh, eta)
+        assert exc.value.reason is ConvergedReason.DIVERGED_BREAKDOWN
+
+    def test_zero_eta_allowed(self):
+        # rank-restricted operators mask elements by zeroing viscosity
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        eta = np.ones((mesh.nel, 27))
+        eta[0] = 0.0
+        op = make_operator("tensor_c", mesh, eta)
+        assert np.isfinite(op(np.ones(3 * mesh.nnodes))).all()
+
+    def test_set_viscosity_validates(self):
+        from repro.resilience.reasons import BreakdownError
+
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        op = make_operator("tensor", mesh, np.ones((mesh.nel, 27)))
+        with pytest.raises(ValueError):
+            op.set_viscosity(np.ones((3, 3)))
+        with pytest.raises(BreakdownError):
+            op.set_viscosity(np.full((mesh.nel, 27), np.inf))
+
 
 class TestCoefficientUpdate:
     def test_tensor_c_rebuilds_after_mesh_move(self):
@@ -103,6 +145,41 @@ class TestCoefficientUpdate:
         assert np.allclose(op_c(u), op_t(u))
         mesh.deform(lambda c: c * 1.3)
         assert np.allclose(op_c(u), op_t(u), atol=1e-12)
+
+    @pytest.mark.parametrize("kind", ["tensor_c", "tensor_compiled"])
+    def test_rebuilds_after_inplace_eta_mutation(self, kind):
+        """The headline ISSUE-8 bug: cached coefficients were keyed off
+        the mesh version only, so an in-place viscosity update silently
+        applied the stale operator."""
+        rng = np.random.default_rng(6)
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        eta = np.exp(rng.normal(size=(mesh.nel, 27)))
+        u = rng.standard_normal(3 * mesh.nnodes)
+        op = make_operator(kind, mesh, eta.copy())
+        y_old = op(u)
+        before = op.eta_version
+        op.eta_q *= 2.0  # in place: same array object, no setter call
+        y_new = op(u)
+        assert op.eta_version > before  # CRC fingerprint caught the change
+        assert not np.allclose(y_new, y_old)
+        ref = make_operator("tensor", mesh, eta * 2.0)(u)
+        assert np.allclose(y_new, ref, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("kind", ["tensor_c", "tensor_compiled"])
+    def test_set_viscosity_and_explicit_invalidation(self, kind):
+        rng = np.random.default_rng(7)
+        mesh = StructuredMesh((2, 2, 2), order=2)
+        eta = np.exp(rng.normal(size=(mesh.nel, 27)))
+        u = rng.standard_normal(3 * mesh.nnodes)
+        op = make_operator(kind, mesh, eta)
+        op(u)
+        op.set_viscosity(eta * 0.5)
+        ref = make_operator("tensor", mesh, eta * 0.5)(u)
+        assert np.allclose(op(u), ref, rtol=1e-12, atol=1e-12)
+        v0 = op.eta_version
+        op.invalidate_coefficients()
+        assert op.eta_version == v0 + 1
+        assert np.allclose(op(u), ref, rtol=1e-12, atol=1e-12)
 
 
 class TestNewtonOperator:

@@ -25,7 +25,7 @@ from repro.parallel.halo import halo_exchange_plan
 from repro.parallel.decomposition import BlockDecomposition
 
 QUAD = GaussQuadrature.hex(3)
-KINDS = ["asmb", "mf", "tensor", "tensor_c"]
+KINDS = ["asmb", "mf", "tensor", "tensor_c", "tensor_compiled"]
 BACKENDS = ["thread", "process"]
 
 
@@ -185,6 +185,50 @@ class TestStateVersioning:
             y_par = op.apply(u)
             assert np.array_equal(y_par, op.apply_serial(u))
             assert op.executor.stats.respawns >= 1
+        op.executor.shutdown()
+
+    @pytest.mark.parametrize("kind", ["tensor", "tensor_c", "tensor_compiled"])
+    def test_eta_mutation_keeps_process_backend_exact(self, kind):
+        """Headline regression: in-place viscosity re-linearization must
+        rebuild cached coefficients AND re-snapshot process workers.
+
+        Before the ``(coords_version, eta_version)`` state contract this
+        silently applied a stale operator: for the coefficient-caching
+        kinds the cached ``_C`` kept the old viscosity everywhere, and for
+        every kind the forked workers kept the old ``eta_q`` snapshot --
+        so the parallel result diverged from serial (``tensor``) or both
+        matched the *wrong* operator (``tensor_c``)."""
+        mesh, eta, u = small_setup()
+        op = make_operator(
+            kind, mesh, eta.copy(), quad=QUAD, workers=2,
+            parallel_backend="process",
+        )
+        op.apply(u)  # fork snapshot carries the original viscosity
+        op.eta_q *= 1.7  # in-place re-linearization: no new array object
+        y_par = op.apply(u)
+        y_ser = op.apply_serial(u)
+        assert np.array_equal(y_par, y_ser)  # rtol=0: bitwise
+        # and both must reflect the NEW viscosity, not the cached one
+        # (same workers so the span-partial reduction order matches bitwise)
+        ref_op = make_operator(
+            kind, mesh, eta * 1.7, quad=QUAD, workers=2,
+            parallel_backend="process",
+        )
+        assert np.array_equal(y_ser, ref_op.apply_serial(u))
+        ref_op.executor.shutdown()
+        assert op.executor.stats.respawns >= 1
+        op.executor.shutdown()
+
+    def test_set_viscosity_respawns_process_pool(self):
+        mesh, eta, u = small_setup()
+        op = make_operator(
+            "tensor_c", mesh, eta, quad=QUAD, workers=2,
+            parallel_backend="process",
+        )
+        op.apply(u)
+        op.set_viscosity(eta * 0.25)
+        assert np.array_equal(op.apply(u), op.apply_serial(u))
+        assert op.executor.stats.respawns >= 1
         op.executor.shutdown()
 
 

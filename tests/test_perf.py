@@ -6,6 +6,7 @@ import pytest
 from repro.perf import (
     EDISON,
     OPERATOR_COUNTS,
+    PAPER_COUNTS,
     MachineModel,
     apply_time_per_element,
     efficiency_metrics,
@@ -21,23 +22,23 @@ class TestPaperCounts:
     """Pin the per-element numbers of Table I / SS III-D exactly."""
 
     def test_assembled(self):
-        c = OPERATOR_COUNTS["asmb"]
+        c = PAPER_COUNTS["asmb"]
         assert c.flops == 9216
         assert c.bytes_perfect_cache == 37248
 
     def test_matrix_free(self):
-        c = OPERATOR_COUNTS["mf"]
+        c = PAPER_COUNTS["mf"]
         assert c.flops == 53622
         assert c.bytes_perfect_cache == 1008
         assert c.bytes_pessimal_cache == 2376
 
     def test_tensor(self):
-        c = OPERATOR_COUNTS["tensor"]
+        c = PAPER_COUNTS["tensor"]
         assert c.flops == 15228
         assert c.bytes_perfect_cache == 1008
 
     def test_tensor_c(self):
-        c = OPERATOR_COUNTS["tensor_c"]
+        c = PAPER_COUNTS["tensor_c"]
         assert c.flops == 14214
         assert c.bytes_perfect_cache == 4920
         assert c.bytes_pessimal_cache == 5832
@@ -45,18 +46,52 @@ class TestPaperCounts:
     def test_arithmetic_intensity_range(self):
         """SS III-D: MF kernel intensity between 22.5 (pessimal) and 53
         (perfect) flops/byte."""
-        c = OPERATOR_COUNTS["mf"]
+        c = PAPER_COUNTS["mf"]
         assert c.intensity_pessimal == pytest.approx(22.5, abs=0.2)
         assert c.intensity_perfect == pytest.approx(53.2, abs=0.2)
 
     def test_tensor_flop_reduction_factor(self):
         """Tensor kernel does ~3.5x fewer flops than the dense MF kernel."""
-        ratio = OPERATOR_COUNTS["mf"].flops / OPERATOR_COUNTS["tensor"].flops
+        ratio = PAPER_COUNTS["mf"].flops / PAPER_COUNTS["tensor"].flops
         assert 3.0 < ratio < 4.0
 
     def test_table_order(self):
         names = [c.name for c in table1_counts()]
         assert names == ["asmb", "mf", "tensor", "tensor_c"]
+
+
+class TestImplementationCounts:
+    """The implementation-true table diverges from the paper only where the
+    code does (the packed Tensor-C apply); see repro.perf.counts."""
+
+    def test_shared_rows_match_paper(self):
+        for kind in ("asmb", "mf", "tensor"):
+            assert OPERATOR_COUNTS[kind] == PAPER_COUNTS[kind]
+
+    def test_tensor_c_streams_packed_storage(self):
+        c = OPERATOR_COUNTS["tensor_c"]
+        # 16 packed values/point + int64 gather indices + 8/27-node vectors
+        assert c.bytes_perfect_cache == 8 * (2 * 8 * 3) + 8 * 16 * 27 + 8 * 27
+        assert c.bytes_pessimal_cache == 8 * (2 * 27 * 3) + 8 * 16 * 27 + 8 * 27
+        # two factored gradient sweeps + the 153-flop pointwise contraction
+        assert c.flops == 2 * 13122 + 27 * 153 == 30375
+
+    def test_compiled_shares_tensor_c_arithmetic(self):
+        c = OPERATOR_COUNTS["tensor_compiled"]
+        ref = OPERATOR_COUNTS["tensor_c"]
+        assert (c.flops, c.bytes_perfect_cache, c.bytes_pessimal_cache) == (
+            ref.flops, ref.bytes_perfect_cache, ref.bytes_pessimal_cache
+        )
+
+    def test_packed_storage_cuts_coefficient_memory(self):
+        """The 16-value packing moves the ~4x memory cut the docstring
+        promised: dense rank-4 stored 81 doubles/point."""
+        from repro.perf.roofline import memory_bytes
+
+        dense_coeff = 27 * 81 * 8
+        packed = memory_bytes("tensor_c", nel=1000, nnodes=1)
+        dense = packed - 1000 * 27 * 16 * 8 + 1000 * dense_coeff
+        assert dense / packed > 4.0
 
 
 class TestMachineModel:

@@ -1,0 +1,222 @@
+"""Compiled blocked tensor kernel: equivalence, determinism, fallback.
+
+Mirrors the ``tests/test_parallel_executor.py`` style: every parallel
+claim is ``rtol=0`` (bitwise) because the executor reduces span partials
+in task order and the C kernel accumulates elements strictly in index
+order; cross-backend claims (different arithmetic) use tight ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem import StructuredMesh, GaussQuadrature
+from repro.matfree import make_operator
+from repro.matfree import _ckernel
+from repro.matfree.tensor_c import (
+    PACKED_VALUES, build_packed_coefficients, unpack_sym,
+)
+from repro.matfree.tensor_compiled import default_block_elements
+
+QUAD = GaussQuadrature.hex(3)
+BACKENDS = ["thread", "process"]
+
+
+def small_setup(shape=(3, 3, 4), seed=11):
+    rng = np.random.default_rng(seed)
+    mesh = StructuredMesh(shape, order=2, extent=(1.0, 0.8, 1.2))
+    mesh.deform(lambda c: c + 0.02 * np.sin(2 * np.pi * c[:, [1, 2, 0]]))
+    eta = np.exp(rng.normal(scale=0.5, size=(mesh.nel, QUAD.npoints)))
+    u = rng.standard_normal(3 * mesh.nnodes)
+    return mesh, eta, u
+
+
+class TestPackedStorage:
+    def test_packed_values_is_16(self):
+        # 6 (symmetric S) + 9 (K) + 1 (w eta): the ~5x cut vs dense 81
+        assert PACKED_VALUES == 16
+        assert 81 / PACKED_VALUES > 4.0
+
+    def test_pack_roundtrip_matches_dense_rank4(self):
+        """The packed apply must contract exactly like the dense tensor
+        C_cdef = w eta (delta_ce M_df + K_de K_fc), M = K K^T."""
+        rng = np.random.default_rng(0)
+        Jinv = rng.standard_normal((5, 27, 3, 3))
+        weta = np.abs(rng.standard_normal((5, 27))) + 0.1
+        g = rng.standard_normal((5, 27, 3, 3))
+        packed = build_packed_coefficients(Jinv, weta)
+        assert packed.shape == (5, 27, PACKED_VALUES)
+        S = unpack_sym(packed)
+        K = packed[..., 6:15].reshape(5, 27, 3, 3)
+        w = packed[..., 15]
+        t_packed = np.einsum("nqce,nqed->nqcd", g, S)
+        t_packed += w[..., None, None] * np.einsum(
+            "nqde,nqef,nqfc->nqdc", K, g, K
+        ).transpose(0, 1, 3, 2)
+        M = np.einsum("nqde,nqfe->nqdf", Jinv, Jinv)
+        C = weta[..., None, None, None, None] * (
+            np.einsum("ce,nqdf->nqcdef", np.eye(3), M)
+            + np.einsum("nqde,nqfc->nqcdef", Jinv, Jinv)
+        )
+        t_dense = np.einsum("nqcdef,nqef->nqcd", C, g)
+        assert np.allclose(t_packed, t_dense, rtol=1e-13, atol=1e-13)
+        # major symmetry C_cdef = C_efcd: the operator stays symmetric
+        assert np.allclose(C, C.transpose(0, 1, 4, 5, 2, 3))
+
+
+class TestEquivalence:
+    """tensor_compiled vs tensor_c vs tensor, across chunk/block sizes."""
+
+    @pytest.mark.parametrize("chunk", [3, 17, 4096])
+    def test_matches_einsum_backends(self, chunk):
+        mesh, eta, u = small_setup()
+        y_t = make_operator("tensor", mesh, eta, quad=QUAD, chunk=chunk)(u)
+        y_c = make_operator("tensor_c", mesh, eta, quad=QUAD, chunk=chunk)(u)
+        y_x = make_operator(
+            "tensor_compiled", mesh, eta, quad=QUAD, chunk=chunk
+        )(u)
+        scale = np.abs(y_t).max()
+        assert np.abs(y_c - y_t).max() < 1e-13 * scale
+        assert np.abs(y_x - y_t).max() < 1e-13 * scale
+
+    def test_block_size_is_bit_invariant(self):
+        """The L2 tile never reorders the element loop, so every block
+        size produces the identical floats (rtol=0)."""
+        mesh, eta, u = small_setup()
+        ys = [
+            make_operator(
+                "tensor_compiled", mesh, eta, quad=QUAD, block=b
+            ).apply(u)
+            for b in (1, 2, 7, 64, 10**6)
+        ]
+        for y in ys[1:]:
+            assert np.array_equal(ys[0], y)
+
+    def test_chunk_size_does_not_change_compiled_result(self):
+        # the C path ignores _sub_chunks entirely; chunk only shapes the
+        # NumPy fallback, so results must be chunk-independent bitwise
+        mesh, eta, u = small_setup()
+        y1 = make_operator("tensor_compiled", mesh, eta, quad=QUAD, chunk=4)(u)
+        y2 = make_operator("tensor_compiled", mesh, eta, quad=QUAD)(u)
+        assert np.array_equal(y1, y2)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_parallel_matches_serial_exactly(self, backend, workers):
+        mesh, eta, u = small_setup()
+        op = make_operator(
+            "tensor_compiled", mesh, eta, quad=QUAD, workers=workers,
+            parallel_backend=backend,
+        )
+        assert np.array_equal(op.apply(u), op.apply_serial(u))
+        op.executor.shutdown()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mid_run_eta_update_parallel(self, backend):
+        """In-place viscosity mutation between applies: coefficients must
+        rebuild and workers re-snapshot (the headline bugfix) for the
+        compiled backend too."""
+        mesh, eta, u = small_setup()
+        op = make_operator(
+            "tensor_compiled", mesh, eta.copy(), quad=QUAD, workers=2,
+            parallel_backend=backend,
+        )
+        op.apply(u)
+        op.eta_q *= 3.0
+        y_par = op.apply(u)
+        assert np.array_equal(y_par, op.apply_serial(u))
+        # same span structure (workers=2) so the reference is bit-comparable
+        ref_op = make_operator(
+            "tensor_compiled", mesh, eta * 3.0, quad=QUAD, workers=2,
+            parallel_backend=backend,
+        )
+        assert np.array_equal(y_par, ref_op.apply_serial(u))
+        ref_op.executor.shutdown()
+        op.executor.shutdown()
+
+    def test_mesh_deform_rebuilds(self):
+        mesh, eta, u = small_setup()
+        op = make_operator("tensor_compiled", mesh, eta, quad=QUAD)
+        op.apply(u)
+        mesh.deform(lambda c: c * 1.2)
+        ref = make_operator("tensor", mesh, eta, quad=QUAD).apply(u)
+        assert np.allclose(op.apply(u), ref, rtol=1e-12, atol=1e-12)
+
+
+class TestFallback:
+    def test_kill_switch_forces_numpy_path(self, monkeypatch):
+        monkeypatch.setenv(_ckernel.ENV_DISABLE, "1")
+        _ckernel._reset_for_tests()
+        try:
+            mesh, eta, u = small_setup()
+            op = make_operator("tensor_compiled", mesh, eta, quad=QUAD)
+            assert not op.compiled
+            assert _ckernel.ENV_DISABLE in op.fallback_reason
+            # the fallback is the inherited packed path: identical floats
+            ref = make_operator("tensor_c", mesh, eta, quad=QUAD)
+            assert np.array_equal(op.apply(u), ref.apply(u))
+        finally:
+            _ckernel._reset_for_tests()
+
+    def test_compile_failure_degrades_gracefully(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(_ckernel.ENV_CACHE, str(tmp_path))
+        monkeypatch.setattr(_ckernel, "_COMPILERS", ("definitely-not-a-cc",))
+        _ckernel._reset_for_tests()
+        try:
+            assert not _ckernel.available()
+            assert "compile failed" in _ckernel.unavailable_reason()
+            mesh, eta, u = small_setup(shape=(2, 2, 2))
+            op = make_operator("tensor_compiled", mesh, eta, quad=QUAD)
+            assert not op.compiled
+            assert np.isfinite(op.apply(u)).all()
+        finally:
+            _ckernel._reset_for_tests()
+
+    def test_block_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CKERNEL_BLOCK", "13")
+        assert default_block_elements() == 13
+        monkeypatch.delenv("REPRO_CKERNEL_BLOCK")
+        assert default_block_elements(l2_bytes=1 << 21) >= 32
+
+
+class TestDiagnostics:
+    def test_nullspace_and_symmetry(self):
+        from repro.mg.sa import rigid_body_modes
+
+        mesh, eta, u = small_setup()
+        op = make_operator("tensor_compiled", mesh, eta, quad=QUAD)
+        rng = np.random.default_rng(3)
+        v = rng.standard_normal(u.size)
+        assert op(u) @ v == pytest.approx(op(v) @ u, rel=1e-10)
+        B = rigid_body_modes(mesh.coords)
+        for j in range(6):
+            assert np.abs(op(B[:, j])).max() < 1e-9
+
+    def test_counts_registered(self):
+        from repro.perf.counts import OPERATOR_COUNTS
+
+        c = OPERATOR_COUNTS["tensor_compiled"]
+        assert c.flops == OPERATOR_COUNTS["tensor_c"].flops
+
+    def test_gmg_fine_level_accepts_compiled_kind(self):
+        from repro.fem import DirichletBC, boundary_nodes, component_dofs
+        from repro.mg.gmg import GMGConfig, build_gmg
+
+        rng = np.random.default_rng(5)
+        meshes = StructuredMesh((4, 4, 4), order=2).hierarchy(2)[::-1]
+        etas = [np.ones((m.nel, 27)) for m in meshes]
+
+        def bc_builder(m):
+            bc = DirichletBC(3 * m.nnodes)
+            for face, comp in (("xmin", 0), ("xmax", 0), ("ymin", 1),
+                               ("ymax", 1), ("zmin", 2)):
+                bc.add(component_dofs(boundary_nodes(m, face), comp), 0.0)
+            return bc.finalize()
+
+        cfg = GMGConfig(levels=2, fine_operator="tensor_compiled",
+                        coarse_solver="lu", fused_residual=True)
+        mg, _ = build_gmg(meshes, etas, bc_builder, cfg)
+        b = rng.standard_normal(3 * meshes[0].nnodes)
+        b[mg.levels[0].bc_mask] = 0.0
+        x = mg(b)
+        r = b - mg.levels[0].apply(x)
+        assert np.linalg.norm(r) < 0.5 * np.linalg.norm(b)
