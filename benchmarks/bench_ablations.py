@@ -15,6 +15,13 @@ A6  Chebyshev vs multiplicative (SSOR) smoothing (SS III-C: polynomial
     -- the prerequisite for the whole matrix-free design).
 A7  V-cycle vs W-cycle (the paper fixes V; W buys little here for 2x the
     coarse work).
+
+Each ablation's configuration sweep runs as a battery of supervised jobs
+through :func:`repro.serve.run_battery` (inline isolation: same process,
+submit order, serial) -- the ensemble service's accounting replaces the
+hand-rolled loops while the obs trace, and therefore the emitted
+``BENCH_ablations.json`` document, stays byte-for-byte what the loops
+produced.
 """
 
 import numpy as np
@@ -23,6 +30,7 @@ import pytest
 from repro.fem import GaussQuadrature, assembly
 from repro.mg import GMGConfig, build_gmg
 from repro.mg.coefficients import coefficient_hierarchy
+from repro.serve import JobSpec, JobState, ServeConfig, run_battery
 from repro.sim.sinker import SinkerConfig, free_slip_bc, sinker_stokes_problem
 from repro.solvers import AdditiveSchwarz, cg, gcr
 from repro.stokes import StokesConfig, solve_stokes
@@ -38,18 +46,48 @@ def sinker(delta_eta=1e2, shape=(8, 8, 8)):
     )
 
 
+def sweep(cases):
+    """Run ``[(name, thunk), ...]`` as an inline battery; ``{name: value}``.
+
+    Inline isolation executes the thunks synchronously in submit order in
+    this process, so solver events accumulate into the module's obs trace
+    exactly as the old ``for`` loops did.  ``max_retries=0`` and the
+    re-raise keep pytest semantics: a failing configuration fails the
+    bench with its original exception, not a report summary.
+    """
+    specs = [JobSpec(name=name, fn=fn, use_cache=False)
+             for name, fn in cases]
+    report = run_battery(
+        specs,
+        ServeConfig(isolation="inline", max_jobs=1, max_retries=0),
+    )
+    out = {}
+    for name, _fn in cases:
+        record = report.record(name)
+        if record.state is not JobState.DONE:
+            if record.exception is not None:
+                raise record.exception
+            raise RuntimeError(
+                f"bench job {name!r} ended {record.state.value}"
+            )
+        out[name] = record.value
+    return out
+
+
 # --------------------------------------------------------------------- A1 #
 @pytest.fixture(scope="module")
 def a1_results():
-    out = {}
-    for galerkin in (True, False):
-        pb = sinker()
-        sol = solve_stokes(pb, StokesConfig(
-            mg_levels=3, coarse_solver="sa", galerkin=galerkin,
-            rtol=1e-5, maxiter=600, restart=200,
-        ))
-        out[galerkin] = sol
-    return out
+    def case(galerkin):
+        def run():
+            pb = sinker()
+            return solve_stokes(pb, StokesConfig(
+                mg_levels=3, coarse_solver="sa", galerkin=galerkin,
+                rtol=1e-5, maxiter=600, restart=200,
+            ))
+        return run
+
+    vals = sweep([(f"a1-galerkin={g}", case(g)) for g in (True, False)])
+    return {g: vals[f"a1-galerkin={g}"] for g in (True, False)}
 
 
 def test_a1_galerkin_vs_rediscretized(benchmark, a1_results):
@@ -71,14 +109,22 @@ def test_a1_galerkin_vs_rediscretized(benchmark, a1_results):
 # --------------------------------------------------------------------- A2 #
 def test_a2_smoother_degree(benchmark):
     once(benchmark, lambda: None)
+
+    def case(degree):
+        def run():
+            pb = sinker()
+            return solve_stokes(pb, StokesConfig(
+                mg_levels=2, coarse_solver="sa", smoother_degree=degree,
+                rtol=1e-5, maxiter=800, restart=200,
+            ))
+        return run
+
+    degrees = (1, 2, 3)
+    vals = sweep([(f"a2-degree={d}", case(d)) for d in degrees])
     rows = []
     its = {}
-    for degree in (1, 2, 3):
-        pb = sinker()
-        sol = solve_stokes(pb, StokesConfig(
-            mg_levels=2, coarse_solver="sa", smoother_degree=degree,
-            rtol=1e-5, maxiter=800, restart=200,
-        ))
+    for degree in degrees:
+        sol = vals[f"a2-degree={degree}"]
         its[degree] = sol.iterations
         rows.append([f"V({degree},{degree})", sol.iterations, sol.converged,
                      fmt(sol.solve_seconds)])
@@ -90,14 +136,22 @@ def test_a2_smoother_degree(benchmark):
 # --------------------------------------------------------------------- A3 #
 def test_a3_outer_krylov(benchmark):
     once(benchmark, lambda: None)
+
+    def case(outer):
+        def run():
+            pb = sinker()
+            return solve_stokes(pb, StokesConfig(
+                mg_levels=2, coarse_solver="sa", outer=outer,
+                rtol=1e-5, maxiter=600, restart=200,
+            ))
+        return run
+
+    outers = ("gcr", "fgmres")
+    vals = sweep([(f"a3-outer={o}", case(o)) for o in outers])
     rows = []
     its = {}
-    for outer in ("gcr", "fgmres"):
-        pb = sinker()
-        sol = solve_stokes(pb, StokesConfig(
-            mg_levels=2, coarse_solver="sa", outer=outer,
-            rtol=1e-5, maxiter=600, restart=200,
-        ))
+    for outer in outers:
+        sol = vals[f"a3-outer={outer}"]
         its[outer] = sol.iterations
         rows.append([outer, sol.iterations, sol.converged,
                      fmt(sol.solve_seconds)])
@@ -110,21 +164,30 @@ def test_a3_outer_krylov(benchmark):
 # --------------------------------------------------------------------- A4 #
 def test_a4_fieldsplit_vs_scr(benchmark):
     once(benchmark, lambda: None)
-    rows = []
-    data = {}
-    for contrast in (1e1, 1e3):
-        for scheme in ("fieldsplit", "scr"):
+
+    def case(contrast, scheme):
+        def run():
             pb = sinker(delta_eta=contrast, shape=(4, 4, 4))
-            sol = solve_stokes(pb, StokesConfig(
+            return solve_stokes(pb, StokesConfig(
                 mg_levels=2, coarse_solver="lu", scheme=scheme,
                 rtol=1e-6, maxiter=800, restart=300,
             ))
-            data[(contrast, scheme)] = sol
-            inner = sol.extra.get("scr")
-            rows.append([
-                fmt(contrast), scheme, sol.iterations, sol.converged,
-                inner.total_inner if inner else "-", fmt(sol.solve_seconds),
-            ])
+        return run
+
+    combos = [(contrast, scheme) for contrast in (1e1, 1e3)
+              for scheme in ("fieldsplit", "scr")]
+    vals = sweep([(f"a4-{scheme}@{contrast:g}", case(contrast, scheme))
+                  for contrast, scheme in combos])
+    rows = []
+    data = {}
+    for contrast, scheme in combos:
+        sol = vals[f"a4-{scheme}@{contrast:g}"]
+        data[(contrast, scheme)] = sol
+        inner = sol.extra.get("scr")
+        rows.append([
+            fmt(contrast), scheme, sol.iterations, sol.converged,
+            inner.total_inner if inner else "-", fmt(sol.solve_seconds),
+        ])
     print_table("A4: full-space fieldsplit vs Schur complement reduction",
                 ["contrast", "scheme", "outer its", "conv", "inner its",
                  "solve s"], rows)
@@ -151,21 +214,33 @@ def test_a5_asm_vs_sa_coarse_solver(benchmark):
     A_bc, _ = bc.eliminate(A, np.zeros(3 * mesh.nnodes))
     b = rng.standard_normal(3 * mesh.nnodes)
     b[bc.mask] = 0.0
-    rows = []
-    asm_its = {}
+
     # restricted ASM is nonsymmetric, so the accelerator is (flexible) GCR;
     # overlap 1 keeps the subdomains from swallowing this small test mesh
-    for nsub in (2, 8, 32):
-        M = AdditiveSchwarz(A_bc, nsub=nsub, overlap=1, subsolve="lu")
-        res = gcr(lambda v: A_bc @ v, b, M=M, rtol=1e-6, maxiter=400,
-                  restart=100)
+    def asm_case(nsub):
+        def run():
+            M = AdditiveSchwarz(A_bc, nsub=nsub, overlap=1, subsolve="lu")
+            return gcr(lambda v: A_bc @ v, b, M=M, rtol=1e-6, maxiter=400,
+                       restart=100)
+        return run
+
+    def sa_case():
+        B = rigid_body_modes(mesh.coords, bc.mask)
+        sa = smoothed_aggregation(A_bc, B, SAConfig(max_coarse=400))
+        return gcr(lambda v: A_bc @ v, b, M=sa, rtol=1e-6, maxiter=400,
+                   restart=100)
+
+    nsubs = (2, 8, 32)
+    vals = sweep([(f"a5-asm-{n}", asm_case(n)) for n in nsubs]
+                 + [("a5-sa", sa_case)])
+    rows = []
+    asm_its = {}
+    for nsub in nsubs:
+        res = vals[f"a5-asm-{nsub}"]
         asm_its[nsub] = res.iterations
         rows.append([f"ASM({nsub} subdomains, ovl 1)", res.iterations,
                      res.converged])
-    B = rigid_body_modes(mesh.coords, bc.mask)
-    sa = smoothed_aggregation(A_bc, B, SAConfig(max_coarse=400))
-    res_sa = gcr(lambda v: A_bc @ v, b, M=sa, rtol=1e-6, maxiter=400,
-                 restart=100)
+    res_sa = vals["a5-sa"]
     rows.append(["SA (GAMG)", res_sa.iterations, res_sa.converged])
     print_table("A5: coarse-solver preconditioner scalability",
                 ["preconditioner", "GCR its", "conv"], rows)
@@ -203,21 +278,29 @@ def test_a6_chebyshev_vs_multiplicative(benchmark):
     b[bc.mask] = 0.0
     import time
 
-    rows = []
-    its = {}
-    for name, smoother in [
+    smoothers = [
         ("Chebyshev(2)/Jacobi",
          ChebyshevSmoother(lambda v: A_bc @ v, A_bc.diagonal(), degree=2)),
         ("SSOR (multiplicative)", SymmetricGaussSeidel(A_bc)),
-    ]:
-        fine = MGLevel(apply=lambda v: A_bc @ v, smoother=smoother,
-                       prolong=P, bc_mask=bc.mask)
-        coarse = MGLevel(apply=lambda v: Ac @ v, coarse_solve=lu.solve,
-                         bc_mask=cbc.mask)
-        mg = MGHierarchy([fine, coarse])
-        t0 = time.perf_counter()
-        res = cg(lambda v: A_bc @ v, b, M=mg, rtol=1e-8, maxiter=200)
-        dt = time.perf_counter() - t0
+    ]
+
+    def case(smoother):
+        def run():
+            fine = MGLevel(apply=lambda v: A_bc @ v, smoother=smoother,
+                           prolong=P, bc_mask=bc.mask)
+            coarse = MGLevel(apply=lambda v: Ac @ v, coarse_solve=lu.solve,
+                             bc_mask=cbc.mask)
+            mg = MGHierarchy([fine, coarse])
+            t0 = time.perf_counter()
+            res = cg(lambda v: A_bc @ v, b, M=mg, rtol=1e-8, maxiter=200)
+            return res, time.perf_counter() - t0
+        return run
+
+    vals = sweep([(name, case(sm)) for name, sm in smoothers])
+    rows = []
+    its = {}
+    for name, _sm in smoothers:
+        res, dt = vals[name]
         its[name] = res.iterations
         rows.append([name, res.iterations, res.converged, fmt(dt)])
     print_table("A6: smoother choice inside the V-cycle",
@@ -228,14 +311,22 @@ def test_a6_chebyshev_vs_multiplicative(benchmark):
 # --------------------------------------------------------------------- A7 #
 def test_a7_v_vs_w_cycle(benchmark):
     once(benchmark, lambda: None)
+
+    def case(gamma):
+        def run():
+            pb = sinker()
+            return solve_stokes(pb, StokesConfig(
+                mg_levels=3, coarse_solver="sa", rtol=1e-5, maxiter=600,
+                restart=200, gamma=gamma,
+            ))
+        return run
+
+    cycles = ((1, "V(2,2)"), (2, "W(2,2)"))
+    vals = sweep([(f"a7-gamma={g}", case(g)) for g, _label in cycles])
     rows = []
     its = {}
-    for gamma, label in ((1, "V(2,2)"), (2, "W(2,2)")):
-        pb = sinker()
-        sol = solve_stokes(pb, StokesConfig(
-            mg_levels=3, coarse_solver="sa", rtol=1e-5, maxiter=600,
-            restart=200, gamma=gamma,
-        ))
+    for gamma, label in cycles:
+        sol = vals[f"a7-gamma={gamma}"]
         its[gamma] = sol.iterations
         rows.append([label, sol.iterations, sol.converged,
                      fmt(sol.solve_seconds)])

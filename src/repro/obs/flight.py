@@ -120,16 +120,42 @@ class FlightRecorder:
             "manifest": metrics.build_manifest(),
         }
 
+    def _dump_name(self, kind: str, index: int) -> str:
+        """Dump filename: ``{prefix}[_{confighash}]_{kind}_{NNN}.json``.
+
+        When the application stamped a ``config_hash`` manifest field
+        (``metrics.set_manifest``), it is woven into the name so N
+        concurrent ensemble jobs dumping into one shared directory get
+        disjoint namespaces instead of silently overwriting each other's
+        black boxes.  Without the override (single-run usage, existing
+        tests) the historical ``FLIGHT_<kind>_<NNN>.json`` name is kept.
+        """
+        run_id = metrics.manifest_override("config_hash")
+        parts = [self.prefix]
+        if run_id:
+            parts.append(str(run_id)[:12])
+        parts += [str(kind), f"{index:03d}"]
+        return "_".join(parts) + ".json"
+
     def dump(self, kind: str, detail: dict | None = None) -> str:
         """Write one validated ``FLIGHT_*.json``; returns its path."""
         doc = validate_flight(self.document(kind, detail))
-        self._dump_index += 1
         os.makedirs(self.directory, exist_ok=True)
-        path = os.path.join(
-            self.directory,
-            f"{self.prefix}_{kind}_{self._dump_index:03d}.json",
-        )
-        with open(path, "w") as fh:
+        # exclusive create: two recorders (or a restarted worker resuming
+        # into an old directory) bump past existing indices rather than
+        # clobbering a dump already on disk
+        while True:
+            self._dump_index += 1
+            path = os.path.join(
+                self.directory, self._dump_name(kind, self._dump_index)
+            )
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL,
+                             0o644)
+            except FileExistsError:
+                continue
+            break
+        with os.fdopen(fd, "w") as fh:
             json.dump(doc, fh, indent=1, sort_keys=True)
             fh.write("\n")
         self.dumps.append(path)

@@ -56,6 +56,7 @@ __all__ = [
     "gauge",
     "get_gauge",
     "inc",
+    "manifest_override",
     "observe",
     "set_manifest",
     "total_workers",
@@ -235,6 +236,16 @@ def set_manifest(**fields) -> None:
     is free) so a later ``enable()`` + export still knows what ran.
     """
     _STORE.overrides.update(fields)
+
+
+def manifest_override(key: str, default=None):
+    """An application-set manifest field (see :func:`set_manifest`).
+
+    The flight recorder reads ``config_hash`` here to namespace its dump
+    files per run identity, so concurrent ensemble jobs sharing one dump
+    directory cannot collide.
+    """
+    return _STORE.overrides.get(key, default)
 
 
 def config_hash(obj) -> str:

@@ -23,10 +23,31 @@ Typical use::
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
+
+
+def claim_sentinel(path: str | None) -> bool:
+    """Atomically claim a cross-process one-shot token; ``True`` on first call.
+
+    Job-level faults must fire **once per job**, not once per process: a
+    killed worker's retry is a fresh subprocess with fresh patch state, so
+    the only memory that survives is the filesystem.  The token is an
+    ``O_CREAT | O_EXCL`` file -- exactly the :class:`WorkerKiller`
+    mechanism, factored out for reuse.  ``path=None`` always claims
+    (fault fires on every attempt).
+    """
+    if path is None:
+        return True
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
 
 
 @dataclass
@@ -263,6 +284,85 @@ class FaultInjector:
         self.install(timeloop, "project_to_quadrature", action, calls=calls,
                      when=when, limit=limit,
                      label=label or f"poison:viscosity:{mode}")
+
+    # -- job-level faults (the ensemble scheduler's recovery paths) ------ #
+    def hang(self, after_step: int = 1, seconds: float = 3600.0,
+             sentinel: str | None = None, label: str | None = None) -> None:
+        """Freeze the time loop after its ``after_step``-th step completes.
+
+        Patches ``Simulation._advance`` class-wide so the triggering call
+        returns only after sleeping ``seconds`` -- long past any sane
+        watchdog deadline.  The step's heartbeat has already been piped
+        (``_commit_telemetry`` runs inside ``_advance``), so the failure
+        signature is exactly the production one: a healthy-looking job
+        that goes silent.  ``sentinel`` (a :func:`claim_sentinel` path)
+        makes the hang one-shot across subprocess retries, so the
+        requeued job runs clean.  ``after_step`` counts ``_advance``
+        calls in *this process* (a resumed worker restarts the count).
+        """
+        from ..sim.timeloop import Simulation
+
+        def action(result):
+            time.sleep(seconds)
+            return result
+
+        self.install(
+            Simulation, "_advance", action, calls={int(after_step)},
+            when=(lambda: claim_sentinel(sentinel)), limit=1,
+            label=label or "job:hang",
+        )
+
+    def crash_after_steps(self, n: int, exit_code: int = 23,
+                          sentinel: str | None = None,
+                          label: str | None = None) -> None:
+        """Kill the process with ``os._exit`` after its ``n``-th step.
+
+        The un-catchable mid-run death (OOM kill, segfault): no exception
+        propagates, no result is emitted, buffered state is lost.  The
+        scheduler must classify the silent exit as a crash and the retry
+        must resume from the last atomic checkpoint -- and, by the
+        determinism contract, finish bit-identical to an uninterrupted
+        run.  ``sentinel`` makes the crash one-shot across retries.
+        """
+        from ..sim.timeloop import Simulation
+
+        def action(_result):
+            os._exit(int(exit_code))
+
+        self.install(
+            Simulation, "_advance", action, calls={int(n)},
+            when=(lambda: claim_sentinel(sentinel)), limit=1,
+            label=label or "job:crash",
+        )
+
+    def corrupt_checkpoint(self, path: str, keep_fraction: float = 0.5,
+                           calls: set[int] | None = None,
+                           sentinel: str | None = None,
+                           label: str | None = None) -> None:
+        """Truncate the checkpoint at ``path`` right after it is written.
+
+        Patches :func:`repro.sim.checkpoint.save_checkpoint` (module
+        attribute -- callers must invoke it through the module) so the
+        triggering save leaves a half-written archive under the *final*
+        name: the corruption the atomic-write protocol cannot prevent
+        (e.g. silent media truncation after a successful rename).  The
+        validated load must reject it with ``ValueError`` and the worker
+        must fall back to a fresh start -- still finishing bit-identical.
+        """
+        from ..sim import checkpoint as _checkpoint
+
+        target = path if path.endswith(".npz") else path + ".npz"
+
+        def action(result):
+            if os.path.exists(target):
+                self.truncate_file(target, keep_fraction)
+            return result
+
+        self.install(
+            _checkpoint, "save_checkpoint", action, calls=calls,
+            when=(lambda: claim_sentinel(sentinel)), limit=1,
+            label=label or "job:corrupt_checkpoint",
+        )
 
     # -- file faults ----------------------------------------------------- #
     @staticmethod

@@ -1,0 +1,58 @@
+"""Ensemble service: fault-isolated scheduling of simulation batteries.
+
+Run N scenario configurations as supervised jobs -- subprocess isolation,
+watchdog timeouts on per-step heartbeats, retry with deterministic
+backoff, circuit-breaker quarantine, and a config-hash-keyed results
+store with bit-exact cache hits and checkpoint-backed resume.
+
+Programmatic entry point::
+
+    from repro.serve import JobSpec, ServeConfig, run_battery
+
+    report = run_battery(
+        [JobSpec(name="s0", scenario="sinker",
+                 scenario_config={"shape": (4, 4, 4)}, nsteps=3, seed=0)],
+        ServeConfig(max_jobs=2, step_timeout=30.0),
+    )
+    assert report.all_terminal
+
+CLI: ``python -m repro.serve battery.json`` (see ``repro.serve.__main__``).
+"""
+
+from .jobs import (
+    REASON_CRASH,
+    REASON_HANG,
+    REASON_QUARANTINED,
+    REASON_SPAWN_FAILED,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    JobState,
+)
+from .scheduler import (
+    BatteryReport,
+    Scheduler,
+    ServeConfig,
+    backoff_delay,
+    run_battery,
+)
+from .store import RESULT_SCHEMA, ResultStore, state_digest
+
+__all__ = [
+    "BatteryReport",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "REASON_CRASH",
+    "REASON_HANG",
+    "REASON_QUARANTINED",
+    "REASON_SPAWN_FAILED",
+    "RESULT_SCHEMA",
+    "ResultStore",
+    "Scheduler",
+    "ServeConfig",
+    "TERMINAL_STATES",
+    "backoff_delay",
+    "run_battery",
+    "state_digest",
+]

@@ -1,0 +1,105 @@
+"""CLI of the ensemble service: ``python -m repro.serve battery.json``.
+
+The battery file is plain JSON::
+
+    {
+      "serve": {"max_jobs": 2, "step_timeout": 30.0, "store_dir": "store"},
+      "jobs": [
+        {"name": "sinker-hi", "scenario": "sinker",
+         "scenario_config": {"shape": [4, 4, 4]}, "nsteps": 3, "seed": 0},
+        ...
+      ]
+    }
+
+``serve`` takes any :class:`~repro.serve.scheduler.ServeConfig` field;
+``jobs`` entries are :class:`~repro.serve.jobs.JobSpec` wire dicts.
+Command-line flags override the file's ``serve`` section.
+
+Exit status: 0 when every job reached a terminal state (the scheduler's
+accounting contract) -- or, with ``--require-done``, only when every job
+is DONE.  Any lost, stuck, or unaccounted job is a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .jobs import JobSpec
+from .scheduler import ServeConfig, run_battery
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run a battery of supervised simulation jobs.",
+    )
+    parser.add_argument("battery", help="battery JSON file")
+    parser.add_argument("--store", help="results store directory "
+                        "(default: the battery file's setting, else a "
+                        "temporary directory)")
+    parser.add_argument("--max-jobs", type=int, help="concurrent jobs")
+    parser.add_argument("--step-timeout", type=float,
+                        help="watchdog seconds between heartbeats")
+    parser.add_argument("--startup-timeout", type=float,
+                        help="watchdog seconds from spawn to first step")
+    parser.add_argument("--max-retries", type=int,
+                        help="retry budget per job")
+    parser.add_argument("--fresh", action="store_true",
+                        help="ignore cached results and checkpoints")
+    parser.add_argument("--require-done", action="store_true",
+                        help="exit non-zero unless every job is DONE "
+                        "(default requires only terminal states)")
+    parser.add_argument("--json", dest="json_out",
+                        help="write the battery report to this file "
+                        "('-' for stdout)")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    with open(args.battery) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "jobs" not in doc:
+        sys.stderr.write("battery file must be an object with a "
+                         "'jobs' array\n")
+        return 2
+
+    serve = dict(doc.get("serve", {}))
+    for key, value in (
+        ("store_dir", args.store),
+        ("max_jobs", args.max_jobs),
+        ("step_timeout", args.step_timeout),
+        ("startup_timeout", args.startup_timeout),
+        ("max_retries", args.max_retries),
+    ):
+        if value is not None:
+            serve[key] = value
+    if args.fresh:
+        serve["fresh"] = True
+    config = ServeConfig(**serve)
+
+    specs = [JobSpec.from_wire(job) for job in doc["jobs"]]
+    report = run_battery(specs, config)
+
+    print(report.summary())
+    if args.json_out:
+        payload = json.dumps(report.as_dict(), indent=1, sort_keys=True)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w") as fh:
+                fh.write(payload + "\n")
+
+    if not report.all_terminal:
+        sys.stderr.write("error: jobs left in non-terminal states\n")
+        return 1
+    if args.require_done and not report.all_done:
+        sys.stderr.write("error: --require-done and not all jobs DONE\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

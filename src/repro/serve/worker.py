@@ -1,0 +1,247 @@
+"""Subprocess entry point of the ensemble service: run one supervised job.
+
+``python -m repro.serve.worker JOB.json`` reads a job file written by the
+scheduler -- ``{"spec": <JobSpec wire dict>, "serve": <runtime options>}``
+-- builds the scenario, and runs it to completion, speaking a line-based
+JSON protocol on stdout (one flushed object per line)::
+
+    {"event": "spawned",  "pid": ..., "job": ...}
+    {"event": "started",  "resumed_from": k, "config_hash": ...}
+    {"event": "heartbeat", "step": n, "time": t, "dt": ..., "seconds": ...}
+    {"event": "checkpoint", "step": n}
+    {"event": "checkpoint_corrupt", "message": ...}   # resume fell back
+    {"event": "result",   ...result document...}      # then exit 0
+    {"event": "error",    "reason": ..., "message": ...}  # then exit != 0
+
+Heartbeats are piped from the time loop itself (a
+:func:`repro.sim.timeloop.add_step_listener` hook fed by
+``_commit_telemetry``), so a solver hung *inside* a step goes silent and
+the scheduler's watchdog sees it.  The worker enables ``repro.obs``
+unconditionally -- the telemetry layer is the heartbeat source, and its
+clean-path overhead is bounded by CI.
+
+Recovery contract: the worker saves an atomic checkpoint to the results
+store every ``checkpoint_every`` steps; a killed/crashed job's retry
+resumes from it, and a checkpoint the validated load rejects (corrupt)
+falls back to a fresh start.  Either way the final state digest must be
+bit-identical to an uninterrupted run (asserted in ``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import traceback
+
+__all__ = ["build_simulation", "main", "run_job"]
+
+
+def _emit(event: str, **payload) -> None:
+    doc = {"event": event, **payload}
+    sys.stdout.write(json.dumps(doc, sort_keys=True) + "\n")
+    sys.stdout.flush()
+
+
+def build_simulation(spec):
+    """Instantiate the scenario a :class:`~repro.serve.jobs.JobSpec` names.
+
+    ``scenario_config`` feeds the scenario's config dataclass (JSON lists
+    are coerced to the tuples the dataclasses expect); ``sim_config``
+    feeds :class:`~repro.sim.timeloop.SimulationConfig`, with a nested
+    ``"stokes"`` dict for :class:`~repro.stokes.solve.StokesConfig`.
+    """
+    from ..sim.timeloop import SimulationConfig
+    from ..stokes.solve import StokesConfig
+
+    sim_kwargs = dict(spec.sim_config)
+    stokes = sim_kwargs.pop("stokes", None)
+    if stokes is not None:
+        sim_kwargs["stokes"] = StokesConfig(**stokes)
+    sim_config = SimulationConfig(**sim_kwargs)
+
+    sc = dict(spec.scenario_config)
+    if spec.seed is not None:
+        sc["seed"] = int(spec.seed)
+    for key in ("shape", "extent", "gravity", "damage_strain"):
+        if isinstance(sc.get(key), list):
+            sc[key] = tuple(sc[key])
+
+    if spec.scenario == "sinker":
+        from ..sim.sinker import SinkerConfig, make_sinker
+
+        return make_sinker(SinkerConfig(**sc), sim_config)
+    if spec.scenario == "rifting":
+        from ..sim.rifting import RiftingConfig, make_rifting
+
+        return make_rifting(RiftingConfig(**sc), sim_config)
+    raise ValueError(f"unknown scenario {spec.scenario!r}")
+
+
+def install_job_faults(injector, faults: dict, checkpoint_path: str,
+                       sentinel_dir: str) -> None:
+    """Install the spec's job-level faults (deterministic, one-shot).
+
+    Every fault defaults to ``once=True``: a filesystem sentinel in the
+    job's store directory makes it fire on the first attempt only, so the
+    recovery path runs clean.  ``once=False`` makes it fire every attempt
+    (retry-budget-exhaustion tests).
+    """
+    for name in sorted(faults):
+        opts = dict(faults[name]) if isinstance(faults[name], dict) else {}
+        once = bool(opts.pop("once", True))
+        sentinel = (
+            os.path.join(sentinel_dir, f"fault_{name}.fired") if once else None
+        )
+        if name == "hang":
+            injector.hang(
+                after_step=int(opts.pop("after_step", 1)),
+                seconds=float(opts.pop("seconds", 3600.0)),
+                sentinel=sentinel,
+            )
+        elif name == "crash_after_steps":
+            raw = faults[name]
+            steps = int(raw) if not isinstance(raw, dict) else int(
+                opts.pop("steps", 1))
+            injector.crash_after_steps(
+                steps, exit_code=int(opts.pop("exit_code", 23)),
+                sentinel=sentinel,
+            )
+        elif name == "corrupt_checkpoint":
+            injector.corrupt_checkpoint(
+                checkpoint_path,
+                keep_fraction=float(opts.pop("keep_fraction", 0.5)),
+                sentinel=sentinel,
+            )
+        elif name == "poison_viscosity":
+            injector.poison_viscosity(
+                mode=str(opts.pop("mode", "nan")),
+                fraction=float(opts.pop("fraction", 0.02)),
+                when=(lambda s=sentinel: __import__(
+                    "repro.resilience.inject", fromlist=["claim_sentinel"]
+                ).claim_sentinel(s)),
+            )
+        else:
+            raise ValueError(f"unknown job fault {name!r}")
+        if opts:
+            raise ValueError(f"unknown options for fault {name!r}: "
+                             f"{sorted(opts)}")
+
+
+def run_job(job_path: str) -> int:
+    """Execute one job file; returns the process exit code."""
+    with open(job_path) as fh:
+        doc = json.load(fh)
+
+    # emit liveness before the heavy scientific imports: the scheduler's
+    # startup deadline should cover numpy/scipy import + scenario build
+    _emit("spawned", pid=os.getpid(), job=doc.get("spec", {}).get("name"))
+
+    from .. import obs
+    from ..obs import metrics as _metrics
+    from ..resilience.inject import FaultInjector
+    from ..resilience.reasons import BreakdownError, ConvergedReason
+    from ..sim import checkpoint, timeloop
+    from .jobs import JobSpec
+    from .store import ResultStore, state_digest
+
+    spec = JobSpec.from_wire(doc["spec"])
+    opts = doc.get("serve", {})
+    store = ResultStore(opts.get("store_dir", "."))
+    config_hash = spec.config_hash()
+    job_dir = store.job_dir(config_hash)
+    cp_path = store.checkpoint_path(config_hash)
+    checkpoint_every = int(opts.get("checkpoint_every", 5))
+    t0 = time.perf_counter()
+
+    obs.reset()
+    obs.enable()
+
+    def heartbeat(beat: dict) -> None:
+        _emit("heartbeat", **beat)
+
+    injector = FaultInjector()
+    timeloop.add_step_listener(heartbeat)
+    try:
+        sim = build_simulation(spec)
+        # the Simulation constructor stamped its SimulationConfig hash;
+        # the *job* identity (scenario + seed + steps) is what names this
+        # run everywhere downstream -- flight dumps included
+        _metrics.set_manifest(config_hash=config_hash, job=spec.name)
+        install_job_faults(injector, spec.faults or {}, cp_path, job_dir)
+
+        resumed_from = 0
+        checkpoint_corrupt = False
+        if opts.get("resume", True) and os.path.exists(cp_path):
+            try:
+                checkpoint.load_checkpoint(cp_path, sim)
+                resumed_from = sim.step_index
+            except ValueError as err:
+                # validated load rejected a corrupt archive with sim
+                # untouched: fall back to a fresh start
+                checkpoint_corrupt = True
+                _emit("checkpoint_corrupt", message=str(err))
+                store.clear_checkpoint(config_hash)
+        _emit("started", resumed_from=resumed_from, nsteps=int(spec.nsteps),
+              config_hash=config_hash,
+              workers=os.environ.get("REPRO_WORKERS"))
+
+        newton_its = 0
+        krylov_its = 0
+        nsteps = int(spec.nsteps)
+        while sim.step_index < nsteps:
+            stats = sim.step(spec.dt)
+            newton_its += int(stats["newton_iterations"])
+            krylov_its += int(stats["krylov_iterations"])
+            if (checkpoint_every > 0 and sim.step_index < nsteps
+                    and sim.step_index % checkpoint_every == 0):
+                # through the module attribute, so injected checkpoint
+                # faults (corrupt_checkpoint) see the call
+                checkpoint.save_checkpoint(cp_path, sim)
+                _emit("checkpoint", step=sim.step_index)
+
+        result = {
+            "job": spec.name,
+            "config_hash": config_hash,
+            "scenario": spec.scenario,
+            "steps": int(sim.step_index),
+            "resumed_from": int(resumed_from),
+            "checkpoint_corrupt": bool(checkpoint_corrupt),
+            "sim_time": float(sim.time),
+            "digest": state_digest(sim),
+            "norms": {
+                "u": float(__import__("numpy").linalg.norm(sim.u)),
+                "p": float(__import__("numpy").linalg.norm(sim.p)),
+            },
+            "newton_iterations": newton_its,
+            "krylov_iterations": krylov_its,
+            "faults_fired": list(injector.fired),
+            "wall_seconds": time.perf_counter() - t0,
+        }
+        _emit("result", **result)
+        return 0
+    except BreakdownError as err:
+        _emit("error", reason=ConvergedReason(err.reason).name,
+              message=str(err))
+        return 3
+    except Exception as err:  # noqa: BLE001 -- boundary of the process
+        _emit("error", reason="JOB_ERROR",
+              message=f"{type(err).__name__}: {err}",
+              traceback=traceback.format_exc(limit=20))
+        return 4
+    finally:
+        timeloop.remove_step_listener(heartbeat)
+        injector.remove_all()
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        sys.stderr.write("usage: python -m repro.serve.worker JOB.json\n")
+        return 2
+    return run_job(argv[0])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,10 +53,16 @@ REQUIRED_KEYS = (
     "points_plastic_strain",
     "points_el",
     "points_xi",
+    "dt_scale",
+    "clean_steps",
 )
 
-#: keys older (pre-``T_is_none``) archives may omit, with their fallback
-_OPTIONAL_DEFAULTS = {"T_is_none": None}
+#: keys older archives may omit, with their fallback (``T_is_none``
+#: predates PR 3's flag; ``dt_scale``/``clean_steps`` predate the
+#: ensemble service's checkpoint-backed resume, which must restore the
+#: rollback engine's dt back-off so a resumed resilient run evolves
+#: bit-identically to an uninterrupted one)
+_OPTIONAL_DEFAULTS = {"T_is_none": None, "dt_scale": None, "clean_steps": None}
 
 
 def state_dict(sim) -> dict:
@@ -82,6 +88,8 @@ def state_dict(sim) -> dict:
         "T_is_none": np.bool_(sim.T is None),
         "time": np.float64(sim.time),
         "step_index": np.int64(sim.step_index),
+        "dt_scale": np.float64(getattr(sim, "_dt_scale", 1.0)),
+        "clean_steps": np.int64(getattr(sim, "_clean_steps", 0)),
         "points_x": pts.x.copy(),
         "points_lithology": pts.lithology.copy(),
         "points_plastic_strain": pts.plastic_strain.copy(),
@@ -131,6 +139,12 @@ def restore_state(sim, data: dict) -> None:
     sim.T = None if bool(T_is_none) else np.array(data["T"])
     sim.time = float(data["time"])
     sim.step_index = int(data["step_index"])
+    # rollback-engine state: absent in pre-serve archives, whose runs did
+    # not rely on resume being bit-faithful to the dt back-off
+    if data.get("dt_scale") is not None:
+        sim._dt_scale = float(data["dt_scale"])
+    if data.get("clean_steps") is not None:
+        sim._clean_steps = int(data["clean_steps"])
     pts = MaterialPoints(np.array(data["points_x"]),
                          np.array(data["points_lithology"]))
     pts.plastic_strain = np.array(data["points_plastic_strain"])

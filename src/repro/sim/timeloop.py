@@ -62,6 +62,33 @@ from .fields import (
     temperature_at_points,
 )
 
+#: per-step listeners fed from ``_commit_telemetry``: the ensemble worker
+#: (``repro.serve.worker``) registers one to pipe heartbeats to the
+#: scheduler's watchdog.  Listeners fire once per *committed* step --
+#: including every rollback retry, since each ``_advance`` attempt commits
+#: -- and require telemetry to be enabled (``obs.enable()``), which the
+#: serve worker does unconditionally.
+_STEP_LISTENERS: list = []
+
+
+def add_step_listener(fn):
+    """Register ``fn(beat: dict)`` to observe every committed step.
+
+    ``beat`` carries ``step``, ``time``, ``dt`` and ``seconds``.  Returns
+    ``fn`` so the call can be used as a decorator.  Listener exceptions
+    propagate -- a broken heartbeat pipe *should* kill the worker run.
+    """
+    _STEP_LISTENERS.append(fn)
+    return fn
+
+
+def remove_step_listener(fn) -> None:
+    """Unregister a step listener (no-op when absent)."""
+    try:
+        _STEP_LISTENERS.remove(fn)
+    except ValueError:
+        pass
+
 
 @dataclass
 class SimulationConfig:
@@ -488,6 +515,15 @@ class Simulation:
             "stats": {k: v for k, v in stats.items()},
             "metrics": row,
         })
+        if _STEP_LISTENERS:
+            beat = {
+                "step": int(self.step_index),
+                "time": float(self.time),
+                "dt": float(stats["dt"]),
+                "seconds": float(stats["seconds"]),
+            }
+            for fn in list(_STEP_LISTENERS):
+                fn(beat)
 
     # ------------------------------------------------------------------ #
     # self-healing step: snapshot -> attempt -> classify -> rollback
