@@ -47,7 +47,9 @@ import weakref
 from .registry import STATE, register_reset_hook
 
 __all__ = [
+    "COMM_SOURCES",
     "STATS_SOURCES",
+    "aggregate_comm_stats",
     "aggregate_executor_stats",
     "build_manifest",
     "commit_step",
@@ -96,6 +98,13 @@ register_reset_hook(_STORE.clear)
 #: aggregated into the document without the executor being in any export
 #: call chain
 STATS_SOURCES: "weakref.WeakSet" = weakref.WeakSet()
+
+#: live communicators exposing ``.stats.as_dict()`` (and ``.size``) --
+#: every :class:`~repro.parallel.comm.VirtualComm` /
+#: :class:`~repro.parallel.procomm.ProcessComm` registers itself here at
+#: construction, so message/byte/reduction totals (and the fault counters
+#: of the real transport) ride in every export as ``comm.*`` gauges
+COMM_SOURCES: "weakref.WeakSet" = weakref.WeakSet()
 
 
 # --------------------------------------------------------------------- #
@@ -165,6 +174,34 @@ def _drain_executor_gauges() -> None:
     _STORE.gauges["executor.workers"] = float(total_workers())
 
 
+def aggregate_comm_stats() -> dict:
+    """Field-wise sum of ``stats.as_dict()`` across live communicators.
+
+    :class:`~repro.parallel.comm.CommStats` dataclasses expose
+    ``as_dict``; the aggregate also carries ``ranks`` (summed communicator
+    sizes) so a row records how many ranks were live when it was sampled.
+    """
+    total: dict[str, float] = {}
+    ranks = 0
+    for src in list(COMM_SOURCES):
+        try:
+            d = src.stats.as_dict()
+        except Exception:
+            continue
+        for k, v in d.items():
+            total[k] = total.get(k, 0) + v
+        ranks += int(getattr(src, "size", 0))
+    if total:
+        total["ranks"] = ranks
+    return total
+
+
+def _drain_comm_gauges() -> None:
+    agg = aggregate_comm_stats()
+    for k, v in agg.items():
+        _STORE.gauges[f"comm.{k}"] = float(v)
+
+
 # --------------------------------------------------------------------- #
 # per-step sampling
 # --------------------------------------------------------------------- #
@@ -188,6 +225,7 @@ def commit_step(step: int) -> dict:
     if not STATE.enabled:
         return {}
     _drain_executor_gauges()
+    _drain_comm_gauges()
     row: dict[str, float] = {}
     for name in sorted(_STORE.counters):
         v = _STORE.counters[name]
@@ -223,6 +261,8 @@ def export() -> dict:
         "last_step": _STORE.last_step,
         "executors": {k: float(v)
                       for k, v in aggregate_executor_stats().items()},
+        "comms": {k: float(v)
+                  for k, v in aggregate_comm_stats().items()},
     }
 
 

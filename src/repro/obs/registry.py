@@ -211,12 +211,14 @@ _NULL = _NullTimer()
 class _Timer:
     """Context manager accumulating into one :class:`EventRecord`."""
 
-    __slots__ = ("rec", "t0", "child", "flops", "nbytes")
+    __slots__ = ("rec", "t0", "child", "flops", "nbytes", "cat")
 
-    def __init__(self, rec: EventRecord, flops: int, nbytes: int):
+    def __init__(self, rec: EventRecord, flops: int, nbytes: int,
+                 cat: str = "event"):
         self.rec = rec
         self.flops = flops
         self.nbytes = nbytes
+        self.cat = cat
 
     def add_flops(self, n: int) -> None:
         self.flops += n
@@ -243,18 +245,20 @@ class _Timer:
         if frames:
             frames[-1].child += elapsed
         if _SPAN_SINK is not None:
-            _SPAN_SINK(rec.name, "event", rec.stage, self.t0,
+            _SPAN_SINK(rec.name, self.cat, rec.stage, self.t0,
                        self.t0 + elapsed, self.flops, self.nbytes)
         return False
 
 
-def timed(name: str, flops: int = 0, nbytes: int = 0):
+def timed(name: str, flops: int = 0, nbytes: int = 0, cat: str = "event"):
     """Event context manager: ``with timed("MatMult_tensor", flops=...)``.
 
     ``flops``/``nbytes`` are the analytic work of *one* entry (seeded from
     :mod:`repro.perf.counts` at the operator call sites); more can be
     added from inside via ``add_flops``/``add_bytes`` or the module-level
-    :func:`log_flops`/:func:`log_bytes`.
+    :func:`log_flops`/:func:`log_bytes`.  ``cat`` tags the timeline span
+    category when a sink is armed -- communication events pass ``"comm"``
+    so Perfetto renders compute and communication on separable tracks.
     """
     if not STATE.enabled:
         return _NULL
@@ -262,7 +266,7 @@ def timed(name: str, flops: int = 0, nbytes: int = 0):
     rec = REGISTRY.events.get(key)
     if rec is None:
         rec = REGISTRY.events[key] = EventRecord(name, REGISTRY._stage_path)
-    return _Timer(rec, flops, nbytes)
+    return _Timer(rec, flops, nbytes, cat)
 
 
 class _StageTimer:

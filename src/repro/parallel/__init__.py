@@ -1,40 +1,78 @@
-"""Virtual parallelism: domain decomposition without MPI.
+"""Parallelism: domain decomposition, virtual and real.
 
 The paper runs on 192-12288 MPI ranks of a Cray XC-30; this reproduction
-executes sequentially but preserves the *parallel semantics* the paper's
-algorithms depend on: block decomposition of the structured element grid
-(SS II-D), neighbor lists, halo (ghost-node) exchange accounting, and
-material-point migration between subdomains.  Every virtual communication
-is counted (messages, bytes, reductions) so the machine model in
-:mod:`repro.perf` can translate the sequential run into modeled at-scale
-timings for Tables II/III.
+preserves the *parallel semantics* the paper's algorithms depend on:
+block decomposition of the structured element grid (SS II-D), neighbor
+lists, halo (ghost-node) exchange accounting, and material-point
+migration between subdomains.  Every communication is counted (messages,
+bytes, reductions) so the machine model in :mod:`repro.perf` can
+translate a run into modeled at-scale timings for Tables II/III.
+
+Two communicators share one surface:
+
+* :class:`VirtualComm` executes ranks sequentially in-process -- the
+  deterministic **oracle**;
+* :class:`~repro.parallel.procomm.ProcessComm` runs them as real worker
+  processes with heartbeats, deadline-bounded collectives, rank-failure
+  detection, and checkpoint-based recovery
+  (:mod:`repro.parallel.procomm`), with the rank-decomposed solve
+  (:mod:`repro.parallel.distributed`) asserted bit-identical to the
+  oracle's.
 """
 
-from .comm import VirtualComm, CommStats
+from .comm import CommStats, VirtualComm, tree_reduce
 from .decomposition import BlockDecomposition
+from .distributed import (
+    ProcommEngine,
+    VirtualRankEngine,
+    run_sinker_distributed,
+)
 from .executor import (
     ExecutorStats,
     ParallelCSRMatVec,
     ParallelExecutor,
     WorkerCrash,
+    current_override,
     make_executor,
     partition_elements,
     partition_range,
     resolve_backend,
     resolve_workers,
+    use_executor,
 )
-from .halo import ExchangeStats, halo_exchange_plan, measured_exchange, reduction_count
+from .halo import (
+    ExchangeStats,
+    halo_exchange_plan,
+    measured_exchange,
+    reduction_count,
+    validate_decomposition_compat,
+)
+from .procomm import (
+    CommError,
+    CommTimeout,
+    ProcessComm,
+    ProcommConfig,
+    RankFailure,
+)
 from .views import LocalView, rank_local_residual
 
 __all__ = [
     "VirtualComm",
     "CommStats",
+    "CommError",
+    "CommTimeout",
     "BlockDecomposition",
     "ExecutorStats",
     "ExchangeStats",
     "ParallelCSRMatVec",
     "ParallelExecutor",
+    "ProcessComm",
+    "ProcommConfig",
+    "ProcommEngine",
+    "RankFailure",
+    "VirtualRankEngine",
     "WorkerCrash",
+    "current_override",
     "halo_exchange_plan",
     "make_executor",
     "measured_exchange",
@@ -43,6 +81,10 @@ __all__ = [
     "reduction_count",
     "resolve_backend",
     "resolve_workers",
+    "run_sinker_distributed",
+    "tree_reduce",
+    "use_executor",
+    "validate_decomposition_compat",
     "LocalView",
     "rank_local_residual",
 ]

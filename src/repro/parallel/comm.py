@@ -4,28 +4,93 @@ Ranks are executed one after another in the same address space; ``send``
 enqueues payloads that the destination rank drains with ``recv_all``.
 All traffic is tallied in :class:`CommStats`, feeding the performance
 model's latency/bandwidth terms.
+
+With the real multi-process transport (:mod:`repro.parallel.procomm`)
+this class is the **oracle**: both communicators expose the same
+``send``/``recv_all``/``allreduce``/``bcast``/``barrier``/``pending``
+surface, both reduce with the same fixed binary tree
+(:func:`tree_reduce`), and CI asserts the distributed solve is
+bit-identical to the virtual one.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
+
+from ..obs import metrics as _metrics
+from ..obs import registry as _obs
+
+#: reduction combiners shared by :class:`VirtualComm` and the real
+#: transport -- one implementation, so the oracle cannot drift
+_REDUCE_OPS = {
+    "sum": lambda a, b: a + b,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+def tree_reduce(values, op: str = "sum"):
+    """Reduce rank-indexed contributions with a **fixed binary tree**.
+
+    The combination order depends only on ``len(values)`` -- pairs
+    ``(0,1), (2,3), ...`` then pairs of pairs -- never on the order the
+    contributions *arrived* in.  A real transport receives replies in
+    nondeterministic order; evaluating the reduction over the
+    rank-indexed list makes the result bitwise-stable for any rank count
+    and any arrival interleaving (a left-fold over arrival order is not:
+    floating-point addition does not associate).
+    """
+    if op not in _REDUCE_OPS:
+        raise ValueError(f"unknown reduction op {op!r}")
+    if len(values) == 0:
+        raise ValueError("tree_reduce needs at least one value")
+    combine = _REDUCE_OPS[op]
+    vals = [np.asarray(v) for v in values]
+    while len(vals) > 1:
+        nxt = [combine(vals[i], vals[i + 1])
+               for i in range(0, len(vals) - 1, 2)]
+        if len(vals) % 2:
+            nxt.append(vals[-1])
+        vals = nxt
+    return vals[0]
 
 
 @dataclass
 class CommStats:
-    """Running totals of virtual communication."""
+    """Running totals of communication (virtual or real).
+
+    The fault counters stay zero on :class:`VirtualComm` -- only the real
+    transport can time out, lose a rank, or respawn a cohort -- but they
+    live here so ``obs.metrics`` drains one shape into ``comm.*`` gauges.
+    """
 
     messages: int = 0
     bytes: int = 0
     reductions: int = 0
+    timeouts: int = 0
+    rank_failures: int = 0
+    respawns: int = 0
 
     def reset(self) -> None:
         self.messages = 0
         self.bytes = 0
         self.reductions = 0
+        self.timeouts = 0
+        self.rank_failures = 0
+        self.respawns = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "messages": int(self.messages),
+            "bytes": int(self.bytes),
+            "reductions": int(self.reductions),
+            "timeouts": int(self.timeouts),
+            "rank_failures": int(self.rank_failures),
+            "respawns": int(self.respawns),
+        }
 
 
 def _payload_bytes(payload) -> int:
@@ -42,8 +107,9 @@ class VirtualComm:
     """A communicator of ``size`` virtual ranks.
 
     Point-to-point: :meth:`send` / :meth:`recv_all`.  Collectives:
-    :meth:`allreduce`.  There is no concurrency -- the caller iterates over
-    ranks -- but message counting and the mailbox discipline mirror MPI.
+    :meth:`allreduce` / :meth:`bcast` / :meth:`barrier`.  There is no
+    concurrency -- the caller iterates over ranks -- but message counting
+    and the mailbox discipline mirror MPI.
     """
 
     def __init__(self, size: int):
@@ -52,6 +118,7 @@ class VirtualComm:
         self.size = int(size)
         self.stats = CommStats()
         self._mailboxes: dict[int, list] = defaultdict(list)
+        _metrics.COMM_SOURCES.add(self)
 
     def send(self, src: int, dest: int, payload, nbytes: int | None = None) -> None:
         """Enqueue ``payload`` from ``src`` to ``dest``.
@@ -63,9 +130,11 @@ class VirtualComm:
         self._check_rank(dest)
         if src == dest:
             raise ValueError("self-sends are not a thing; handle locally")
-        self.stats.messages += 1
-        self.stats.bytes += _payload_bytes(payload) if nbytes is None else int(nbytes)
-        self._mailboxes[dest].append((src, payload))
+        size = _payload_bytes(payload) if nbytes is None else int(nbytes)
+        with _obs.timed("CommSend", nbytes=size, cat="comm"):
+            self.stats.messages += 1
+            self.stats.bytes += size
+            self._mailboxes[dest].append((src, payload))
 
     def recv_all(self, rank: int) -> list[tuple[int, object]]:
         """Drain and return all pending ``(src, payload)`` for ``rank``."""
@@ -75,18 +144,33 @@ class VirtualComm:
         return out
 
     def allreduce(self, values, op: str = "sum"):
-        """Reduce a per-rank list of values; counted as one reduction."""
+        """Reduce a per-rank list of values; counted as one reduction.
+
+        The fixed-tree evaluation order (:func:`tree_reduce`) matches the
+        real transport's bit for bit, which is what makes this class the
+        determinism oracle for distributed Krylov dot products.
+        """
         if len(values) != self.size:
             raise ValueError(f"expected {self.size} values, got {len(values)}")
-        self.stats.reductions += 1
-        arr = np.asarray(values)
-        if op == "sum":
-            return arr.sum(axis=0)
-        if op == "max":
-            return arr.max(axis=0)
-        if op == "min":
-            return arr.min(axis=0)
-        raise ValueError(f"unknown reduction op {op!r}")
+        with _obs.timed("CommAllreduce", nbytes=_payload_bytes(values),
+                        cat="comm"):
+            self.stats.reductions += 1
+            return tree_reduce(values, op)
+
+    def bcast(self, value, root: int = 0):
+        """Broadcast ``value`` from ``root``: ``size - 1`` messages."""
+        self._check_rank(root)
+        size = _payload_bytes(value)
+        with _obs.timed("CommBcast", nbytes=size * (self.size - 1),
+                        cat="comm"):
+            self.stats.messages += self.size - 1
+            self.stats.bytes += size * (self.size - 1)
+        return value
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (trivially satisfied: ranks are serial)."""
+        with _obs.timed("CommBarrier", cat="comm"):
+            self.stats.reductions += 1
 
     def pending(self) -> int:
         """Number of undelivered messages (should be 0 between phases)."""

@@ -68,11 +68,13 @@ __all__ = [
     "ParallelCSRMatVec",
     "ParallelExecutor",
     "WorkerCrash",
+    "current_override",
     "make_executor",
     "partition_elements",
     "partition_range",
     "resolve_backend",
     "resolve_workers",
+    "use_executor",
 ]
 
 #: environment knobs honored when the call site passes ``None``
@@ -597,6 +599,48 @@ class ParallelCSRMatVec:
         )
 
 
+#: engine override stack armed by :func:`use_executor` -- while non-empty,
+#: every call site resolving an executor through :func:`make_executor`
+#: (operators, GMG hierarchies, assembled matvecs) gets the innermost
+#: override instead of building its own pool.  This is how the
+#: rank-decomposed driver (:mod:`repro.parallel.distributed`) injects one
+#: engine into the whole solve stack without threading it through every
+#: constructor.
+_EXECUTOR_OVERRIDE: list = []
+
+
+class _ExecutorOverride:
+    """Context manager pushing one dispatch engine onto the override stack."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def __enter__(self):
+        _EXECUTOR_OVERRIDE.append(self.engine)
+        return self.engine
+
+    def __exit__(self, *exc):
+        _EXECUTOR_OVERRIDE.pop()
+        return False
+
+
+def use_executor(engine) -> _ExecutorOverride:
+    """Route every :func:`make_executor` call site through ``engine``.
+
+    ``engine`` must satisfy the dispatch contract (``dispatch(state,
+    method, spans, u, ...)``, ``.workers``, ``.stats``); it may be a
+    :class:`ParallelExecutor` or a rank engine from
+    :mod:`repro.parallel.distributed`.  Overrides nest (innermost wins)
+    and only cover call sites that do not pass an explicit ``executor``.
+    """
+    return _ExecutorOverride(engine)
+
+
+def current_override():
+    """The innermost :func:`use_executor` engine, or ``None``."""
+    return _EXECUTOR_OVERRIDE[-1] if _EXECUTOR_OVERRIDE else None
+
+
 def make_executor(
     workers: int | None = None,
     backend: str | None = None,
@@ -604,12 +648,15 @@ def make_executor(
 ) -> ParallelExecutor | None:
     """Resolve the executor for an operator call site.
 
-    Returns ``executor`` unchanged when given; otherwise builds one when the
-    resolved worker count exceeds 1, and returns ``None`` (pure serial, no
-    engine in the loop) when it does not.
+    Returns ``executor`` unchanged when given; else the innermost
+    :func:`use_executor` override when one is armed; otherwise builds one
+    when the resolved worker count exceeds 1, and returns ``None`` (pure
+    serial, no engine in the loop) when it does not.
     """
     if executor is not None:
         return executor
+    if _EXECUTOR_OVERRIDE:
+        return _EXECUTOR_OVERRIDE[-1]
     if resolve_workers(workers) <= 1:
         return None
     return ParallelExecutor(workers=workers, backend=backend)

@@ -66,8 +66,29 @@ def measured_exchange(executor) -> ExchangeStats | None:
     )
 
 
+def validate_decomposition_compat(
+    decomp: BlockDecomposition, peer: BlockDecomposition
+) -> None:
+    """Raise ``ValueError`` unless two decompositions can exchange halos.
+
+    A halo exchange is only meaningful between decompositions of the same
+    element grid cut into the same rank grid; a mismatch used to surface
+    as an index error deep in the ghost arithmetic.  The error names both
+    shapes so the caller can see *which* side is wrong.
+    """
+    mine = (tuple(decomp.mesh.shape), tuple(decomp.ranks))
+    theirs = (tuple(peer.mesh.shape), tuple(peer.ranks))
+    if mine != theirs:
+        raise ValueError(
+            "incompatible decompositions for halo exchange: "
+            f"mesh {mine[0]} / ranks {mine[1]} vs "
+            f"mesh {theirs[0]} / ranks {theirs[1]}"
+        )
+
+
 def halo_exchange_plan(
-    decomp: BlockDecomposition, dofs_per_node: int = 3, executor=None
+    decomp: BlockDecomposition, dofs_per_node: int = 3, executor=None,
+    peer: BlockDecomposition | None = None,
 ) -> ExchangeStats:
     """Per-rank halo traffic for one ghost update of a nodal field.
 
@@ -75,7 +96,11 @@ def halo_exchange_plan(
     ``(messages_total, bytes_total, max_bytes_per_rank)``).  When
     ``executor`` is given and has dispatched, the byte volumes are the ones
     the engine actually moved rather than the analytic ghost-node count.
+    ``peer`` (the decomposition on the other side of the exchange, when it
+    is not ``decomp`` itself) is validated for compatibility up front.
     """
+    if peer is not None:
+        validate_decomposition_compat(decomp, peer)
     if executor is not None:
         measured = measured_exchange(executor)
         if measured is not None:

@@ -1,0 +1,721 @@
+"""Real multi-process communicator: the distributed-memory rank runtime.
+
+:class:`~repro.parallel.comm.VirtualComm` executes ranks sequentially in
+one address space; this module runs them as **actual worker processes**
+and keeps the virtual communicator as the bit-exactness oracle.  Each
+rank of a :class:`ProcessComm` is a forked child in its own session,
+wired to the master by two pipes:
+
+* a **command pipe** (master -> rank) carrying one newline-delimited JSON
+  document per operation (span kernels, dot partials, mailbox traffic,
+  collectives, fault arming);
+* an **event pipe** (rank -> master) carrying heartbeats and replies --
+  the same newline-JSON watchdog protocol the ensemble scheduler speaks
+  with its workers (PR 8), read by a per-rank reader thread.
+
+Bulk array data never rides the pipes: input vectors and result slabs
+move through the executor's grow-only shared-memory blocks
+(:class:`~repro.parallel.executor._ShmBlock`), exactly the PR-2 intranode
+transport.  State objects reach the ranks by fork inheritance through the
+executor's ``_FORK_REGISTRY`` -- a respawned cohort re-snapshots every
+live registered state, mirroring the process-pool semantics.
+
+Fault tolerance, end to end:
+
+* every rank emits a heartbeat every ``heartbeat_interval`` seconds from
+  a dedicated thread, so a rank stalled inside a kernel still beats and a
+  *dead* rank goes silent;
+* every collective and point-to-point wait is **deadline-bounded**: no
+  reply within ``op_timeout`` (or heartbeat silence beyond
+  ``heartbeat_timeout``) raises a typed :class:`CommTimeout` -- nothing
+  in this module can hang indefinitely;
+* rank death is detected by event-pipe EOF plus ``waitpid`` and raised
+  as :class:`RankFailure` carrying the exit status;
+* :meth:`ProcessComm.recover` SIGKILLs every straggler's process group,
+  reaps the cohort, respawns it, and re-arms any armed faults whose
+  one-shot sentinel is still unclaimed.  The caller resumes from the last
+  collective-consistent checkpoint
+  (:func:`repro.sim.checkpoint.cohort_checkpoint`) and -- by the
+  determinism contract -- finishes bit-identical to an uninterrupted run.
+
+Orphan safety: rank children live in their own sessions, so a killed
+master cannot take them down via its process group.  Instead each rank
+exits on command-pipe EOF (the kernel closes the master's write end at
+death) and on the first failed heartbeat write, so no master exit path
+leaks rank processes.
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import json
+import os
+import pickle
+import queue
+import signal
+import threading
+import time
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs import metrics as _metrics
+from ..obs import registry as _obs
+from .comm import CommStats, _payload_bytes, tree_reduce
+from .executor import _FORK_REGISTRY, _ShmBlock, _attach_shm
+
+__all__ = [
+    "CommError",
+    "CommTimeout",
+    "ProcessComm",
+    "ProcommConfig",
+    "RankFailure",
+]
+
+#: operations that advance a rank's work-op counter (fault trigger points);
+#: control traffic (ping, fault arming, mail_count liveness probes, exit)
+#: deliberately does not trigger faults
+_WORK_OPS = frozenset({"span", "dot", "put_mail", "drain_mail", "contrib",
+                       "barrier", "bcast"})
+
+
+class CommError(RuntimeError):
+    """Base class of transport-level communicator failures."""
+
+
+class CommTimeout(CommError):
+    """A bounded collective/operation expired without a reply.
+
+    ``kind`` is ``"deadline"`` (no reply within the per-op budget) or
+    ``"heartbeat"`` (the rank stopped beating -- silent long before the
+    op deadline, so stalls are detected early).
+    """
+
+    def __init__(self, op: str, rank: int, seconds: float,
+                 kind: str = "deadline"):
+        super().__init__(
+            f"comm op {op!r} on rank {rank} timed out after "
+            f"{seconds:.1f}s ({kind})"
+        )
+        self.op = op
+        self.rank = rank
+        self.seconds = float(seconds)
+        self.kind = kind
+
+
+class RankFailure(CommError):
+    """A rank process died (pipe EOF + ``waitpid``)."""
+
+    def __init__(self, rank: int, returncode: int | None, op: str = ""):
+        detail = f" during {op!r}" if op else ""
+        super().__init__(
+            f"rank {rank} died{detail} "
+            f"(returncode={returncode if returncode is not None else '?'})"
+        )
+        self.rank = rank
+        self.returncode = returncode
+        self.op = op
+
+
+@dataclass
+class ProcommConfig:
+    """Deadlines and cadences of the fault-tolerant transport."""
+
+    #: seconds between worker heartbeats (a dedicated thread per rank)
+    heartbeat_interval: float = 0.25
+    #: heartbeat silence that declares a rank stalled (CommTimeout)
+    heartbeat_timeout: float = 15.0
+    #: per-operation reply deadline (CommTimeout); bounds every collective
+    op_timeout: float = 60.0
+    #: deadline for a fresh cohort to answer its startup ping
+    startup_timeout: float = 30.0
+
+    def __post_init__(self):
+        for name in ("heartbeat_interval", "heartbeat_timeout",
+                     "op_timeout", "startup_timeout"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+def span_dot(x: np.ndarray, y: np.ndarray, s: int, e: int) -> float:
+    """One rank's partial of a distributed dot product.
+
+    The **single** implementation used by both the rank worker and the
+    virtual oracle engine, so the per-rank partials -- and therefore the
+    tree-reduced global dot -- cannot drift between the two by kernel
+    choice or memory-alignment path.
+    """
+    return float(np.dot(np.ascontiguousarray(x[s:e]),
+                        np.ascontiguousarray(y[s:e])))
+
+
+def _claim(path: str | None) -> bool:
+    """Worker-side O_EXCL sentinel claim (one-shot across respawns)."""
+    if path is None:
+        return True
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+# --------------------------------------------------------------------- #
+# rank worker (runs in the forked child; never returns)
+# --------------------------------------------------------------------- #
+def _worker_loop(rank: int, cmd_fd: int, evt_fd: int, cfg: dict) -> None:
+    # Attach-side shared-memory views must NOT register with a resource
+    # tracker: a rank forked before the master's tracker existed would
+    # lazily spawn its *own*, and that private tracker -- at the rank's
+    # first death (recovery respawn!) -- would "clean up" by unlinking
+    # the master's live segments out from under the whole cohort
+    # (CPython's long-standing attach-side tracker bug).  The master owns
+    # every segment and remains the single cleanup point.
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register = lambda *a, **k: None
+        resource_tracker.unregister = lambda *a, **k: None
+    except Exception:
+        pass
+    wlock = threading.Lock()
+
+    def emit(doc: dict) -> None:
+        data = (json.dumps(doc) + "\n").encode()
+        with wlock:
+            off = 0
+            while off < len(data):
+                off += os.write(evt_fd, data[off:])
+
+    def beat() -> None:
+        interval = float(cfg["heartbeat_interval"])
+        while True:
+            time.sleep(interval)
+            try:
+                emit({"event": "hb"})
+            except OSError:
+                os._exit(0)  # master is gone; nothing to report to
+
+    threading.Thread(target=beat, daemon=True).start()
+
+    mailbox: list = []
+    faults: list[dict] = []
+    nwork = 0
+    buf = b""
+    while True:
+        while b"\n" not in buf:
+            try:
+                chunk = os.read(cmd_fd, 1 << 16)
+            except OSError:
+                chunk = b""
+            if not chunk:
+                os._exit(0)  # command-pipe EOF: master died; do not orphan
+            buf += chunk
+        line, buf = buf.split(b"\n", 1)
+        doc = json.loads(line)
+        op = doc["op"]
+        seq = doc["seq"]
+        if op in _WORK_OPS:
+            nwork += 1
+            for f in list(faults):
+                if nwork < int(f.get("at", 1)):
+                    continue
+                if f["kind"] == "kill" and _claim(f.get("sentinel")):
+                    os._exit(int(f.get("exit_code", 137)))
+                elif f["kind"] == "stall" and _claim(f.get("sentinel")):
+                    faults.remove(f)
+                    time.sleep(float(f.get("seconds", 3600.0)))
+        reply = {"event": "reply", "seq": seq, "status": "ok"}
+        try:
+            if op == "ping":
+                reply["rank"] = rank
+            elif op == "span":
+                t0 = time.perf_counter()
+                state = _FORK_REGISTRY.get(doc["token"])
+                version = getattr(state, "_parallel_state_version", 0)
+                if isinstance(version, tuple):
+                    # JSON turned the master's tuple stamp into a list
+                    version = list(version)
+                if state is None or version != doc["version"]:
+                    reply["status"] = "stale"
+                else:
+                    u = np.ndarray((doc["n_in"],), dtype=np.float64,
+                                   buffer=_attach_shm(doc["in_shm"]).buf)
+                    u.flags.writeable = False
+                    out = np.ndarray(
+                        (doc["out_size"],), dtype=np.float64,
+                        buffer=_attach_shm(doc["out_shm"]).buf,
+                        offset=8 * doc["out_off"],
+                    )
+                    out[:] = getattr(state, doc["method"])(
+                        u, int(doc["s"]), int(doc["e"])
+                    )
+                    reply["busy"] = time.perf_counter() - t0
+            elif op == "dot":
+                n = int(doc["n"])
+                block = _attach_shm(doc["in_shm"])
+                x = np.ndarray((n,), dtype=np.float64, buffer=block.buf)
+                y = np.ndarray((n,), dtype=np.float64, buffer=block.buf,
+                               offset=8 * n)
+                reply["value"] = span_dot(x, y, int(doc["s"]), int(doc["e"]))
+            elif op == "put_mail":
+                dropped = False
+                for f in list(faults):
+                    if f["kind"] == "drop_message" and _claim(
+                            f.get("sentinel")):
+                        faults.remove(f)
+                        dropped = True
+                        break
+                if not dropped:
+                    payload = pickle.loads(base64.b64decode(doc["b64"]))
+                    mailbox.append((int(doc["src"]), payload))
+                reply["dropped"] = dropped
+            elif op == "drain_mail":
+                reply["b64"] = base64.b64encode(
+                    pickle.dumps(mailbox)).decode("ascii")
+                mailbox = []
+            elif op == "mail_count":
+                reply["count"] = len(mailbox)
+            elif op == "contrib":
+                # allreduce leg: the value is this rank's contribution;
+                # echo it back through the real transport bit-for-bit
+                reply["b64"] = doc["b64"]
+            elif op == "bcast":
+                pickle.loads(base64.b64decode(doc["b64"]))  # receive it
+            elif op == "barrier":
+                pass
+            elif op == "fault":
+                faults.append(dict(doc["fault"]))
+            elif op == "clear_faults":
+                faults = []
+            elif op == "exit":
+                emit(reply)
+                os._exit(0)
+            else:
+                reply["status"] = "error"
+                reply["error"] = f"unknown op {op!r}"
+        except Exception as err:  # noqa: BLE001 -- process boundary
+            reply = {"event": "reply", "seq": seq, "status": "error",
+                     "error": f"{type(err).__name__}: {err}"}
+        emit(reply)
+
+
+# --------------------------------------------------------------------- #
+# master side
+# --------------------------------------------------------------------- #
+class _Rank:
+    """Master-side handle of one rank process."""
+
+    __slots__ = ("index", "pid", "cmd_fd", "evt_fd", "replies", "last_beat",
+                 "eof", "returncode", "reaped", "reader", "reap_lock")
+
+    def __init__(self, index: int, pid: int, cmd_fd: int, evt_fd: int):
+        self.index = index
+        self.pid = pid
+        self.cmd_fd = cmd_fd
+        self.evt_fd = evt_fd
+        self.replies: queue.Queue = queue.Queue()
+        self.last_beat = time.monotonic()
+        self.eof = False
+        self.returncode: int | None = None
+        self.reaped = False
+        self.reader: threading.Thread | None = None
+        self.reap_lock = threading.Lock()
+
+
+def _cohort_cleanup(holder: dict) -> None:
+    """Best-effort finalizer: no rank process survives the master object."""
+    for pid in holder.get("pids", []):
+        try:
+            os.killpg(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            pass
+        try:
+            os.waitpid(pid, os.WNOHANG)
+        except (ChildProcessError, OSError):
+            pass
+    for shm in holder.get("shm", []):
+        shm.close()
+
+
+class ProcessComm:
+    """A communicator of ``size`` real rank processes.
+
+    Drop-in for :class:`~repro.parallel.comm.VirtualComm`: the same
+    ``send``/``recv_all``/``allreduce``/``bcast``/``barrier``/``pending``
+    surface with the same :class:`CommStats` accounting, plus the
+    engine-facing span/dot transport used by
+    :class:`repro.parallel.distributed.ProcommEngine` and the
+    fault-tolerance surface (:meth:`inject_fault`, :meth:`recover`).
+    """
+
+    def __init__(self, size: int, config: ProcommConfig | None = None):
+        if size < 1:
+            raise ValueError("communicator needs at least one rank")
+        self.size = int(size)
+        self.config = config or ProcommConfig()
+        self.stats = CommStats()
+        self._seq = itertools.count(1)
+        self._ranks: list[_Rank] = []
+        #: armed transport faults, re-applied to every respawned cohort
+        #: (their O_EXCL sentinels keep one-shot semantics across respawns)
+        self._armed: list[tuple[int, dict]] = []
+        #: ``(token, version)`` state snapshots the live cohort inherited
+        self.snapshot_known: set = set()
+        self.shm_in = _ShmBlock("pc_in")
+        self.shm_out = _ShmBlock("pc_out")
+        # materialize the segments (and the master's resource tracker)
+        # *before* the first fork, so every rank inherits a live tracker
+        # and never needs one of its own
+        self.shm_in.ensure(8)
+        self.shm_out.ensure(8)
+        self._holder = {"pids": [], "shm": [self.shm_in, self.shm_out]}
+        self._finalizer = weakref.finalize(self, _cohort_cleanup, self._holder)
+        _metrics.COMM_SOURCES.add(self)
+        self._spawn_cohort()
+
+    # -- lifecycle ------------------------------------------------------ #
+    def _spawn_cohort(self) -> None:
+        cfg = {"heartbeat_interval": self.config.heartbeat_interval}
+        ranks: list[_Rank] = []
+        for r in range(self.size):
+            cmd_r, cmd_w = os.pipe()
+            evt_r, evt_w = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                # child: own session (killpg target), own pipe ends only
+                try:
+                    os.setsid()
+                except OSError:
+                    pass
+                os.close(cmd_w)
+                os.close(evt_r)
+                for prev in ranks:
+                    os.close(prev.cmd_fd)
+                    os.close(prev.evt_fd)
+                try:
+                    _worker_loop(r, cmd_r, evt_w, cfg)
+                finally:
+                    os._exit(1)
+            os.close(cmd_r)
+            os.close(evt_w)
+            rank = _Rank(r, pid, cmd_w, evt_r)
+            rank.reader = threading.Thread(
+                target=self._read_events, args=(rank,),
+                name=f"procomm-rank{r}", daemon=True,
+            )
+            rank.reader.start()
+            ranks.append(rank)
+        self._ranks = ranks
+        self._holder["pids"] = [rank.pid for rank in ranks]
+        # liveness: every rank must answer the startup ping in time
+        seqs = [self._post(r, "ping") for r in range(self.size)]
+        for r, seq in enumerate(seqs):
+            self._wait(r, seq, "ping", timeout=self.config.startup_timeout)
+        # the cohort forked off current master memory: every state in the
+        # executor registry is snapshotted at its current version
+        self.snapshot_known = {
+            (tok, getattr(st, "_parallel_state_version", 0))
+            for tok, st in list(_FORK_REGISTRY.items())
+        }
+        for rank_index, fault in self._armed:
+            seq = self._post(rank_index, "fault", fault=fault)
+            self._wait(rank_index, seq, "fault")
+
+    def shutdown(self, kill: bool = False) -> None:
+        """Stop the cohort: cooperative ``exit`` op, or SIGKILL the groups.
+
+        Idempotent; always reaps children and joins reader threads.
+        """
+        ranks, self._ranks = self._ranks, []
+        if not kill:
+            for rank in ranks:
+                if rank.eof:
+                    continue
+                try:
+                    self._post_rank(rank, {"seq": next(self._seq),
+                                           "op": "exit"})
+                except CommError:
+                    pass
+            deadline = time.monotonic() + 5.0
+            while (time.monotonic() < deadline
+                   and not all(r.eof for r in ranks)):
+                time.sleep(0.01)
+        for rank in ranks:
+            if not rank.eof:
+                self._kill_rank(rank)
+        for rank in ranks:
+            self._reap(rank, timeout=5.0)
+            if rank.reader is not None:
+                rank.reader.join(timeout=5.0)
+            try:
+                os.close(rank.cmd_fd)
+            except OSError:
+                pass
+            try:
+                os.close(rank.evt_fd)
+            except OSError:
+                pass
+        self._holder["pids"] = []
+
+    def close(self) -> None:
+        """Clean shutdown plus shared-memory release."""
+        self.shutdown()
+        self.shm_in.close()
+        self.shm_out.close()
+
+    def respawn(self) -> None:
+        """Replace the cohort with a fresh fork of current master memory.
+
+        Used by the dispatch engine when a state/version pair is not in
+        the cohort's snapshot (the executor's pool-respawn semantics).
+        Refuses to drop undelivered mail -- respawn is for state
+        refresh, not recovery, and must not lose messages silently.
+        """
+        n = self.pending()
+        if n:
+            raise CommError(
+                f"refusing to respawn with {n} undelivered messages in "
+                "rank mailboxes"
+            )
+        self.stats.respawns += 1
+        self.shutdown()
+        self._spawn_cohort()
+
+    def recover(self) -> None:
+        """Failure-path respawn: SIGKILL every rank's process group first.
+
+        Mailbox contents die with the ranks -- recovery is only sound
+        from a collective-consistent checkpoint, which
+        :func:`repro.sim.checkpoint.cohort_checkpoint` guarantees by
+        refusing to write while messages are in flight.
+        """
+        self.stats.respawns += 1
+        self.shutdown(kill=True)
+        self._spawn_cohort()
+
+    def _kill_rank(self, rank: _Rank) -> None:
+        try:
+            os.killpg(rank.pid, signal.SIGKILL)  # setsid: pid == pgid
+        except (ProcessLookupError, PermissionError, OSError):
+            try:
+                os.kill(rank.pid, signal.SIGKILL)
+            except OSError:
+                pass
+
+    def _reap(self, rank: _Rank, timeout: float = 5.0) -> None:
+        with rank.reap_lock:
+            if rank.reaped:
+                return
+            deadline = time.monotonic() + timeout
+            while True:
+                try:
+                    pid, status = os.waitpid(rank.pid, os.WNOHANG)
+                except (ChildProcessError, OSError):
+                    rank.reaped = True
+                    return
+                if pid == rank.pid:
+                    rank.returncode = (
+                        -os.WTERMSIG(status) if os.WIFSIGNALED(status)
+                        else os.WEXITSTATUS(status)
+                    )
+                    rank.reaped = True
+                    return
+                if time.monotonic() >= deadline:
+                    return
+                time.sleep(0.01)
+
+    # -- event-pipe reader (one thread per rank) ------------------------ #
+    def _read_events(self, rank: _Rank) -> None:
+        buf = b""
+        while True:
+            try:
+                chunk = os.read(rank.evt_fd, 1 << 16)
+            except OSError:
+                chunk = b""
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n" in buf:
+                line, buf = buf.split(b"\n", 1)
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue
+                event = doc.get("event")
+                if event == "hb":
+                    rank.last_beat = time.monotonic()
+                elif event == "reply":
+                    rank.last_beat = time.monotonic()
+                    rank.replies.put(doc)
+        # EOF: the rank exited (cleanly or not); record how
+        rank.eof = True
+        self._reap(rank, timeout=5.0)
+
+    # -- wire protocol --------------------------------------------------- #
+    def _post_rank(self, rank: _Rank, doc: dict) -> None:
+        data = (json.dumps(doc) + "\n").encode()
+        try:
+            off = 0
+            while off < len(data):
+                off += os.write(rank.cmd_fd, data[off:])
+        except OSError as err:
+            self._reap(rank, timeout=2.0)
+            self.stats.rank_failures += 1
+            raise RankFailure(rank.index, rank.returncode,
+                              op=str(doc.get("op", ""))) from err
+
+    def _post(self, rank_index: int, op: str, **fields) -> int:
+        self._check_rank(rank_index)
+        rank = self._ranks[rank_index]
+        seq = next(self._seq)
+        if rank.eof:
+            self.stats.rank_failures += 1
+            raise RankFailure(rank_index, rank.returncode, op=op)
+        self._post_rank(rank, {"seq": seq, "op": op, **fields})
+        return seq
+
+    def _wait(self, rank_index: int, seq: int, op: str,
+              timeout: float | None = None) -> dict:
+        rank = self._ranks[rank_index]
+        budget = self.config.op_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while True:
+            try:
+                doc = rank.replies.get(timeout=0.05)
+            except queue.Empty:
+                now = time.monotonic()
+                if rank.eof and rank.replies.empty():
+                    self.stats.rank_failures += 1
+                    raise RankFailure(rank_index, rank.returncode, op=op)
+                if now >= deadline:
+                    self.stats.timeouts += 1
+                    raise CommTimeout(op, rank_index, budget, kind="deadline")
+                if now - rank.last_beat > self.config.heartbeat_timeout:
+                    self.stats.timeouts += 1
+                    raise CommTimeout(op, rank_index,
+                                      now - rank.last_beat, kind="heartbeat")
+                continue
+            if doc.get("seq") != seq:
+                continue  # stale reply from an op abandoned pre-recovery
+            if doc.get("status") == "error":
+                raise CommError(
+                    f"rank {rank_index} failed op {op!r}: {doc.get('error')}"
+                )
+            return doc
+
+    def call(self, rank_index: int, op: str, timeout: float | None = None,
+             **fields) -> dict:
+        """Post one op to one rank and await its reply (bounded)."""
+        seq = self._post(rank_index, op, **fields)
+        return self._wait(rank_index, seq, op, timeout=timeout)
+
+    def call_all(self, op: str, per_rank: list[dict] | None = None,
+                 timeout: float | None = None) -> list[dict]:
+        """Post one op to every rank, then await all replies (bounded).
+
+        Replies are awaited rank by rank, but every command is posted
+        before the first wait, so the ranks execute concurrently.
+        """
+        seqs = [
+            self._post(r, op, **(per_rank[r] if per_rank else {}))
+            for r in range(self.size)
+        ]
+        return [self._wait(r, seq, op, timeout=timeout)
+                for r, seq in enumerate(seqs)]
+
+    # -- VirtualComm-compatible surface ---------------------------------- #
+    def send(self, src: int, dest: int, payload,
+             nbytes: int | None = None) -> None:
+        """Ship ``payload`` into rank ``dest``'s mailbox (pickled)."""
+        self._check_rank(src)
+        self._check_rank(dest)
+        if src == dest:
+            raise ValueError("self-sends are not a thing; handle locally")
+        size = _payload_bytes(payload) if nbytes is None else int(nbytes)
+        with _obs.timed("CommSend", nbytes=size, cat="comm"):
+            b64 = base64.b64encode(pickle.dumps(payload)).decode("ascii")
+            self.call(dest, "put_mail", src=src, b64=b64)
+            self.stats.messages += 1
+            self.stats.bytes += size
+
+    def recv_all(self, rank: int) -> list[tuple[int, object]]:
+        """Drain rank ``rank``'s mailbox back to the caller."""
+        self._check_rank(rank)
+        with _obs.timed("CommRecv", cat="comm"):
+            reply = self.call(rank, "drain_mail")
+            return pickle.loads(base64.b64decode(reply["b64"]))
+
+    def allreduce(self, values, op: str = "sum"):
+        """Reduce one contribution per rank; bit-identical to the oracle.
+
+        Each contribution makes a round trip through its owning rank's
+        real transport; the reduction then runs over the **rank-indexed**
+        list with the shared fixed tree (:func:`tree_reduce`), so the
+        result is independent of reply arrival order.
+        """
+        if len(values) != self.size:
+            raise ValueError(f"expected {self.size} values, got {len(values)}")
+        with _obs.timed("CommAllreduce", nbytes=_payload_bytes(values),
+                        cat="comm"):
+            per_rank = [
+                {"b64": base64.b64encode(pickle.dumps(v)).decode("ascii")}
+                for v in values
+            ]
+            replies = self.call_all("contrib", per_rank)
+            echoed = [pickle.loads(base64.b64decode(r["b64"]))
+                      for r in replies]
+            self.stats.reductions += 1
+            return tree_reduce(echoed, op)
+
+    def bcast(self, value, root: int = 0):
+        """Broadcast ``value`` to every rank; ``size - 1`` messages."""
+        self._check_rank(root)
+        size = _payload_bytes(value)
+        with _obs.timed("CommBcast", nbytes=size * (self.size - 1),
+                        cat="comm"):
+            b64 = base64.b64encode(pickle.dumps(value)).decode("ascii")
+            self.call_all("bcast", [{"b64": b64}] * self.size)
+            self.stats.messages += self.size - 1
+            self.stats.bytes += size * (self.size - 1)
+        return value
+
+    def barrier(self) -> None:
+        """Synchronize: every rank must answer within the op deadline."""
+        with _obs.timed("CommBarrier", cat="comm"):
+            self.call_all("barrier")
+            self.stats.reductions += 1
+
+    def pending(self) -> int:
+        """Undelivered messages across all rank mailboxes (live query)."""
+        return sum(int(r["count"]) for r in self.call_all("mail_count"))
+
+    # -- fault injection -------------------------------------------------- #
+    def inject_fault(self, rank: int, kind: str, **opts) -> None:
+        """Arm a transport fault inside rank ``rank`` (worker-side).
+
+        ``kind``: ``"kill"`` (``os._exit`` at the ``at``-th work op),
+        ``"stall"`` (sleep ``seconds`` before replying), or
+        ``"drop_message"`` (silently drop one incoming mailbox payload).
+        ``sentinel`` (an O_EXCL path) makes the fault one-shot across
+        cohort respawns; armed faults are re-applied to fresh cohorts so
+        an unfired fault survives an unrelated respawn.
+        """
+        if kind not in ("kill", "stall", "drop_message"):
+            raise ValueError(f"unknown transport fault {kind!r}")
+        self._check_rank(rank)
+        fault = {"kind": kind, **opts}
+        self._armed.append((rank, fault))
+        self.call(rank, "fault", fault=fault)
+
+    def clear_faults(self) -> None:
+        """Disarm every transport fault, in live ranks and for respawns."""
+        self._armed.clear()
+        self.call_all("clear_faults")
+
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.size:
+            raise ValueError(f"rank {r} out of range [0, {self.size})")

@@ -364,6 +364,51 @@ class FaultInjector:
             label=label or "job:corrupt_checkpoint",
         )
 
+    # -- transport faults (repro.parallel.procomm) ------------------------ #
+    def kill_rank(self, comm, rank: int, at: int = 1,
+                  exit_code: int = 137, sentinel: str | None = None) -> None:
+        """Arm a rank death: ``os._exit`` inside rank ``rank`` at its
+        ``at``-th work operation (span/dot/collective/mailbox traffic;
+        control pings never trigger).
+
+        Unlike the monkey-patch faults above, transport faults live
+        *inside* the rank worker process and survive cohort respawns (the
+        communicator re-arms them); ``sentinel`` -- an ``O_CREAT|O_EXCL``
+        path, the :func:`claim_sentinel` mechanism -- makes the fault
+        one-shot across those respawns, so the recovery path runs clean.
+        The firing is observed as a :class:`repro.parallel.procomm.
+        RankFailure` (not via :attr:`fired`, which only tracks in-process
+        patches).
+        """
+        comm.inject_fault(rank, "kill", at=int(at),
+                          exit_code=int(exit_code), sentinel=sentinel)
+
+    def stall_rank(self, comm, rank: int, seconds: float = 3600.0,
+                   at: int = 1, sentinel: str | None = None) -> None:
+        """Arm a rank stall: rank ``rank`` sleeps ``seconds`` before
+        serving its ``at``-th work operation.
+
+        The rank keeps heartbeating (the beat thread is separate), so
+        this exercises the **deadline** bound of the collectives: the
+        master raises ``CommTimeout(kind="deadline")`` after
+        ``op_timeout`` instead of hanging.  Observed via the raised
+        timeout, not :attr:`fired`.
+        """
+        comm.inject_fault(rank, "stall", seconds=float(seconds),
+                          at=int(at), sentinel=sentinel)
+
+    def drop_message(self, comm, rank: int,
+                     sentinel: str | None = None) -> None:
+        """Arm a silent message drop: rank ``rank`` discards its next
+        incoming mailbox payload.
+
+        Exercises the conservation audits downstream -- a dropped
+        migration message must surface as a
+        :class:`~repro.resilience.reasons.HealthCheckFailure` from the
+        point-migration audit, never as silently missing material.
+        """
+        comm.inject_fault(rank, "drop_message", sentinel=sentinel)
+
     # -- file faults ----------------------------------------------------- #
     @staticmethod
     def truncate_file(path: str, keep_fraction: float = 0.5) -> int:

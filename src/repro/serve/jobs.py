@@ -115,6 +115,13 @@ class JobSpec:
     #: ``None`` reads ``$REPRO_WORKERS``.  The scheduler may grant fewer
     #: under resource pressure (graceful degradation, never rejection).
     workers: int | None = None
+    #: requested real rank processes (``repro.parallel.procomm``); the
+    #: job's solve runs rank-decomposed over a ProcessComm when >= 2.
+    #: A scheduling hint like ``workers``: counts against the same core
+    #: budget, may be shrunk under pressure, and is excluded from
+    #: identity -- the distributed solve is bit-identical for any rank
+    #: count, so a shrunken grant never changes the answer.
+    ranks: int | None = None
     use_cache: bool = True
     #: deterministic job-level faults installed inside the worker
     #: (``repro.resilience.inject``); test instrumentation, not physics,
@@ -182,6 +189,7 @@ class JobSpec:
             "priority": int(self.priority),
             "group": self.group,
             "workers": self.workers,
+            "ranks": self.ranks,
             "use_cache": bool(self.use_cache),
             "faults": self.faults,
         }
@@ -190,8 +198,8 @@ class JobSpec:
     def from_wire(cls, doc: dict) -> "JobSpec":
         known = {
             "name", "scenario", "scenario_config", "sim_config", "nsteps",
-            "dt", "seed", "priority", "group", "workers", "use_cache",
-            "faults",
+            "dt", "seed", "priority", "group", "workers", "ranks",
+            "use_cache", "faults",
         }
         unknown = set(doc) - known
         if unknown:

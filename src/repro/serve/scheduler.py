@@ -107,6 +107,12 @@ class ServeConfig:
     #: seconds without a heartbeat after ``started`` before the watchdog
     #: kills the worker (covers one full time step incl. rollback retries)
     step_timeout: float = 60.0
+    #: graceful-shutdown grace period: on watchdog expiry the worker gets
+    #: SIGTERM first and this many seconds to flush a final checkpoint of
+    #: its last *committed* step (it exits with a ``terminated`` event);
+    #: only then is the whole process group SIGKILLed.  0 restores the
+    #: old straight-to-SIGKILL behavior.
+    term_grace: float = 5.0
     #: seconds from spawn to the ``started`` event (imports + build)
     startup_timeout: float = 90.0
     #: failed attempts a job may retry (budget; 2 -> up to 3 attempts)
@@ -334,6 +340,10 @@ class Scheduler:
         if requested is None:
             requested = int(os.environ.get("REPRO_WORKERS", "1") or 1)
         requested = max(1, int(requested))
+        if record.spec.ranks:
+            # rank processes draw on the same core budget as pool workers;
+            # the grant covers the larger of the two demands
+            requested = max(requested, int(record.spec.ranks))
         free = self._total_workers() - self._workers_in_use()
         return max(1, min(requested, free))
 
@@ -514,6 +524,9 @@ class Scheduler:
                                 f"attempt_{record.attempt_index:02d}.log")
         env = dict(os.environ)
         env["REPRO_WORKERS"] = str(record.granted_workers)
+        if spec.ranks:
+            env["REPRO_PROCOMM_RANKS"] = str(
+                max(1, min(int(spec.ranks), record.granted_workers)))
         src_root = os.path.dirname(os.path.dirname(os.path.dirname(
             os.path.abspath(__file__))))
         env["PYTHONPATH"] = src_root + (
@@ -563,11 +576,21 @@ class Scheduler:
         beats = 0
         result = None
         error = None
+        terminated = None
         killed = False
+        termed = False
         t0 = time.monotonic()
         while True:
             timeout = deadline - time.monotonic()
             if timeout <= 0:
+                if not termed and cfg.term_grace > 0:
+                    # graceful first: SIGTERM lets the worker flush a
+                    # final checkpoint of its last committed step and
+                    # report ``terminated``; the grace window bounds it
+                    termed = True
+                    self._term(proc)
+                    deadline = time.monotonic() + cfg.term_grace
+                    continue
                 killed = True
                 self._kill(proc)
                 break
@@ -599,6 +622,8 @@ class Scheduler:
                 elif kind == "checkpoint_corrupt":
                     record.checkpoint_corrupt = True
                     error = event
+                elif kind == "terminated":
+                    terminated = event
                 elif kind == "result":
                     result = event
                 elif kind == "error":
@@ -610,11 +635,14 @@ class Scheduler:
             returncode = proc.wait()
         proc.stdout.close()
         seconds = time.monotonic() - t0
-        if killed:
-            outcome = {"outcome": "hang", "reason": REASON_HANG,
-                       "started": started}
-        elif returncode == 0 and result is not None:
+        if returncode == 0 and result is not None:
+            # a worker that completed right at the deadline still counts
             outcome = {"outcome": "done", "result": result}
+        elif killed or termed or terminated is not None:
+            outcome = {"outcome": "hang", "reason": REASON_HANG,
+                       "started": started,
+                       "graceful": terminated is not None,
+                       "flushed_step": (terminated or {}).get("step")}
         elif error is not None and error.get("event") == "error":
             outcome = {"outcome": "error",
                        "reason": str(error.get("reason", "JOB_ERROR")),
@@ -625,6 +653,19 @@ class Scheduler:
         outcome.update(attempt=record.attempt_index, beats=beats,
                        seconds=seconds)
         self._events.put((record, outcome))
+
+    @staticmethod
+    def _term(proc: subprocess.Popen) -> None:
+        """SIGTERM the worker process only (graceful-shutdown request).
+
+        Deliberately not the whole group: rank/pool children must stay
+        alive while the worker flushes its final checkpoint; the SIGKILL
+        that follows an expired grace period sweeps the session.
+        """
+        try:
+            proc.terminate()
+        except OSError:
+            pass
 
     @staticmethod
     def _kill(proc: subprocess.Popen) -> None:

@@ -29,13 +29,28 @@ bit-identical to an uninterrupted run (asserted in ``tests/test_serve.py``).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import signal
 import sys
 import time
 import traceback
 
 __all__ = ["build_simulation", "main", "run_job"]
+
+
+class _Terminated(BaseException):
+    """Raised by the SIGTERM handler to unwind the step loop.
+
+    A ``BaseException`` on purpose: it must sail through both the job
+    boundary's ``except Exception`` and the resilient time loop's
+    rollback handler (which absorbs only ``BreakdownError``), so a
+    graceful-shutdown request can never be mistaken for a solver failure
+    and retried in place.  Raising from the handler also interrupts
+    ``time.sleep`` (PEP 475), so even a worker stuck in an injected hang
+    honors the scheduler's grace period.
+    """
 
 
 def _emit(event: str, **payload) -> None:
@@ -161,8 +176,15 @@ def run_job(job_path: str) -> int:
     def heartbeat(beat: dict) -> None:
         _emit("heartbeat", **beat)
 
+    def on_sigterm(signum, frame):
+        raise _Terminated()
+
+    signal.signal(signal.SIGTERM, on_sigterm)
+
     injector = FaultInjector()
     timeloop.add_step_listener(heartbeat)
+    comm = None
+    last_committed: dict | None = None
     try:
         sim = build_simulation(spec)
         # the Simulation constructor stamped its SimulationConfig hash;
@@ -187,19 +209,43 @@ def run_job(job_path: str) -> int:
               config_hash=config_hash,
               workers=os.environ.get("REPRO_WORKERS"))
 
+        # rank-decomposed execution: the scheduler's grant arrives as
+        # $REPRO_PROCOMM_RANKS; >= 2 routes every operator dispatch and
+        # CG reduction of this job through real rank processes (the
+        # result stays bit-identical to the serial run of the oracle
+        # engine -- same spans, same fixed-tree reductions)
+        ranks = int(os.environ.get("REPRO_PROCOMM_RANKS", "1") or 1)
+        stack = contextlib.ExitStack()
+        if ranks >= 2:
+            from ..parallel.distributed import ProcommEngine
+            from ..parallel.executor import use_executor
+            from ..parallel.procomm import ProcessComm
+            from ..solvers.krylov import use_dot
+
+            comm = ProcessComm(ranks)
+            engine = ProcommEngine(comm)
+            sim.comm = comm
+            stack.enter_context(use_executor(engine))
+            stack.enter_context(use_dot(engine.dot))
+
         newton_its = 0
         krylov_its = 0
         nsteps = int(spec.nsteps)
-        while sim.step_index < nsteps:
-            stats = sim.step(spec.dt)
-            newton_its += int(stats["newton_iterations"])
-            krylov_its += int(stats["krylov_iterations"])
-            if (checkpoint_every > 0 and sim.step_index < nsteps
-                    and sim.step_index % checkpoint_every == 0):
-                # through the module attribute, so injected checkpoint
-                # faults (corrupt_checkpoint) see the call
-                checkpoint.save_checkpoint(cp_path, sim)
-                _emit("checkpoint", step=sim.step_index)
+        with stack:
+            while sim.step_index < nsteps:
+                stats = sim.step(spec.dt)
+                newton_its += int(stats["newton_iterations"])
+                krylov_its += int(stats["krylov_iterations"])
+                # always snapshot the committed state: the graceful-
+                # shutdown flush must write a *step-boundary* state, and
+                # the mid-step one a SIGTERM interrupts is garbage
+                last_committed = checkpoint.state_dict(sim)
+                if (checkpoint_every > 0 and sim.step_index < nsteps
+                        and sim.step_index % checkpoint_every == 0):
+                    # through the module attribute, so injected checkpoint
+                    # faults (corrupt_checkpoint) see the call
+                    checkpoint.save_checkpoint(cp_path, sim)
+                    _emit("checkpoint", step=sim.step_index)
 
         result = {
             "job": spec.name,
@@ -217,10 +263,21 @@ def run_job(job_path: str) -> int:
             "newton_iterations": newton_its,
             "krylov_iterations": krylov_its,
             "faults_fired": list(injector.fired),
+            "ranks": ranks if ranks >= 2 else None,
             "wall_seconds": time.perf_counter() - t0,
         }
         _emit("result", **result)
         return 0
+    except _Terminated:
+        # graceful shutdown: flush the last committed step so the retry
+        # resumes from it instead of replaying from the last periodic
+        # checkpoint (or from scratch)
+        flushed = None
+        if last_committed is not None:
+            checkpoint.save_state(cp_path, last_committed)
+            flushed = int(last_committed["step_index"])
+        _emit("terminated", step=flushed, flushed=flushed is not None)
+        return 5
     except BreakdownError as err:
         _emit("error", reason=ConvergedReason(err.reason).name,
               message=str(err))
@@ -231,8 +288,11 @@ def run_job(job_path: str) -> int:
               traceback=traceback.format_exc(limit=20))
         return 4
     finally:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
         timeloop.remove_step_listener(heartbeat)
         injector.remove_all()
+        if comm is not None:
+            comm.close()
 
 
 def main(argv=None) -> int:

@@ -162,23 +162,57 @@ def restore_state(sim, data: dict) -> None:
         )
 
 
-def save_checkpoint(path: str, sim) -> None:
-    """Atomically write the evolving state of a simulation to ``path``.
+def save_state(path: str, data: dict) -> str:
+    """Atomically write a :func:`state_dict`-shaped payload to ``path``.
 
     ``numpy`` appends ``.npz`` when the name lacks it; the temp-file dance
-    resolves the final name first so the rename target is exact.
+    resolves the final name first so the rename target is exact.  Returns
+    the final path.  Split out of :func:`save_checkpoint` so callers
+    holding a pre-captured snapshot (the serve worker's graceful-shutdown
+    flush writes its *last committed* state, never the mid-step one) get
+    the same atomicity guarantees.
     """
     final = path if path.endswith(".npz") else path + ".npz"
     tmp = final + f".tmp.{os.getpid()}"
     try:
         with open(tmp, "wb") as fh:
-            np.savez_compressed(fh, **state_dict(sim))
+            np.savez_compressed(fh, **data)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, final)
     finally:
         if os.path.exists(tmp):
             os.remove(tmp)
+    return final
+
+
+def save_checkpoint(path: str, sim) -> None:
+    """Atomically write the evolving state of a simulation to ``path``."""
+    save_state(path, state_dict(sim))
+
+
+def cohort_checkpoint(path: str, sim, comm=None) -> str:
+    """Checkpoint at a **collective-consistent** point of a distributed run.
+
+    Recovery after a rank failure (:mod:`repro.parallel.procomm`) kills
+    the whole cohort, so any message still sitting in a rank mailbox at
+    checkpoint time would be silently lost on resume.  This wrapper
+    therefore (1) runs a barrier -- every rank alive and caught up, which
+    also *detects* an already-dead rank before a useless write -- and
+    (2) refuses to write while messages are undelivered.  Returns the
+    final path.  With no communicator it degrades to a plain
+    :func:`save_checkpoint`.
+    """
+    comm = comm if comm is not None else getattr(sim, "comm", None)
+    if comm is not None:
+        comm.barrier()
+        n = comm.pending()
+        if n:
+            raise RuntimeError(
+                f"refusing to checkpoint with {n} undelivered message(s) "
+                "in rank mailboxes; drain point-to-point traffic first"
+            )
+    return save_state(path, state_dict(sim))
 
 
 def load_checkpoint(path: str, sim) -> None:

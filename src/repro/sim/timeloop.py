@@ -525,6 +525,19 @@ class Simulation:
             for fn in list(_STEP_LISTENERS):
                 fn(beat)
 
+    def save_checkpoint(self, path: str) -> str:
+        """Checkpoint this simulation, collective-consistently.
+
+        Delegates to :func:`repro.sim.checkpoint.cohort_checkpoint` with
+        the simulation's own communicator: on a distributed run the write
+        is preceded by a barrier and refused while point-to-point
+        messages are undelivered, so a recovery resume from this file is
+        bit-faithful.  Returns the final path.
+        """
+        from .checkpoint import cohort_checkpoint
+
+        return cohort_checkpoint(path, self, self.comm)
+
     # ------------------------------------------------------------------ #
     # self-healing step: snapshot -> attempt -> classify -> rollback
     # ------------------------------------------------------------------ #

@@ -56,6 +56,50 @@ def _identity(r: np.ndarray) -> np.ndarray:
     return r.copy()
 
 
+#: inner-product override stack armed by :func:`use_dot` -- while
+#: non-empty, CG evaluates its inner products through the innermost
+#: override instead of ``a @ b``.  The distributed driver
+#: (:mod:`repro.parallel.distributed`) pushes its engine's tree-reduced
+#: rank-partitioned dot here, turning every Krylov reduction of the solve
+#: into a distributed collective without threading a parameter through
+#: the solver stack.
+_DOT_OVERRIDE: list = []
+
+
+class _DotOverride:
+    """Context manager pushing one inner-product callable on the stack."""
+
+    def __init__(self, dot):
+        self.dot = dot
+
+    def __enter__(self):
+        _DOT_OVERRIDE.append(self.dot)
+        return self.dot
+
+    def __exit__(self, *exc):
+        _DOT_OVERRIDE.pop()
+        return False
+
+
+def use_dot(dot: Callable) -> _DotOverride:
+    """Route CG inner products through ``dot(a, b) -> float``.
+
+    Overrides nest (innermost wins) and only cover call sites that do not
+    pass an explicit ``dot=``.  The callable must be deterministic for
+    the solve to stay reproducible; the distributed engines' fixed-tree
+    reduction (:func:`repro.parallel.comm.tree_reduce`) is.
+    """
+    return _DotOverride(dot)
+
+
+def _resolve_dot(dot: Callable | None) -> Callable:
+    if dot is not None:
+        return dot
+    if _DOT_OVERRIDE:
+        return _DOT_OVERRIDE[-1]
+    return lambda a, b: a @ b
+
+
 def _tolerance(
     b_norm: float, r0_norm: float, rtol: float, atol: float
 ) -> tuple[float, ConvergedReason]:
@@ -362,8 +406,16 @@ def cg(
     maxiter: int = 1000,
     monitor: Callable | None = None,
     dtol: float = DEFAULT_DTOL,
+    dot: Callable | None = None,
 ) -> SolveResult:
-    """Preconditioned conjugate gradients for SPD operators."""
+    """Preconditioned conjugate gradients for SPD operators.
+
+    ``dot(a, b) -> float`` overrides the inner product (default
+    ``a @ b``; see :func:`use_dot`): the hook through which the
+    distributed engines make every CG reduction a rank collective while
+    keeping the iteration bitwise-identical to the oracle's.
+    """
+    dot = _resolve_dot(dot)
     M = M or _identity
     x = np.zeros_like(b) if x0 is None else x0.copy()
     r = b - A(x)
@@ -381,10 +433,10 @@ def cg(
     guard = ResidualGuard(rnorm, dtol, stag_window=0)
     z = M(r)
     p = z.copy()
-    rz = r @ z
+    rz = dot(r, z)
     for it in range(1, maxiter + 1):
         Ap = A(p)
-        pAp = p @ Ap
+        pAp = dot(p, Ap)
         if pAp <= 0:
             # operator not SPD on this subspace; bail out safely (a NaN
             # pAp falls through this comparison and is caught by the
@@ -405,7 +457,7 @@ def cg(
         if bad is not None:
             return SolveResult(x, False, it, residuals, bad)
         z = M(r)
-        rz_new = r @ z
+        rz_new = dot(r, z)
         p = z + (rz_new / rz) * p
         rz = rz_new
     return SolveResult(x, False, maxiter, residuals, _ITS)
